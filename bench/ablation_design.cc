@@ -1,0 +1,85 @@
+// Extra ablations on *this implementation's* design choices (documented in
+// DESIGN.md §5), beyond the paper's Table V:
+//
+//   1. Candidate sources for the entropy sequences: 2-hop only, random
+//      remote only, or both (the default). The paper only says sequences
+//      "can be constructed flexibly to cover the whole graph".
+//   2. PPO importance-ratio factorisation: per-node (default, bounded
+//      ratios) vs a single joint ratio per step (strict SB3 MultiDiscrete
+//      semantics).
+//   3. Feature-embedding projection dimension for the feature entropy
+//      (random projection width; 0 = raw features).
+
+#include "bench/bench_util.h"
+
+namespace graphrare {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Design-choice ablations (DESIGN.md section 5)",
+              "implementation ablations; no direct paper counterpart");
+
+  const char* kDatasets[] = {"chameleon", "cornell", "wisconsin"};
+  std::vector<data::Dataset> datasets;
+  std::vector<std::vector<data::Split>> splits;
+  for (const char* name : kDatasets) {
+    datasets.push_back(LoadBenchDataset(name));
+    splits.push_back(BenchSplits(datasets.back(), /*quick_splits=*/1));
+  }
+
+  auto run_all = [&](const core::GraphRareOptions& opts) {
+    std::vector<std::string> cells;
+    for (size_t d = 0; d < 3; ++d) {
+      const auto agg = core::RunGraphRare(datasets[d], splits[d], opts);
+      cells.push_back(AccCell(agg.accuracy));
+    }
+    return cells;
+  };
+  auto base = [] { return BenchRareOptions(nn::BackboneKind::kGcn); };
+
+  PrintRow("Variant", {"Chameleon", "Cornell", "Wisconsin"}, 32, 14);
+  std::printf("%s\n", std::string(32 + 3 * 14, '-').c_str());
+
+  // 1. Candidate sources.
+  {
+    core::GraphRareOptions two_hop_only = base();
+    two_hop_only.entropy.num_random_candidates = 0;
+    PrintRow("candidates: 2-hop only", run_all(two_hop_only), 32, 14);
+
+    core::GraphRareOptions random_only = base();
+    random_only.entropy.max_two_hop_candidates = 0;
+    random_only.entropy.num_random_candidates = 32;
+    PrintRow("candidates: random only", run_all(random_only), 32, 14);
+
+    PrintRow("candidates: 2-hop + random", run_all(base()), 32, 14);
+  }
+
+  // 2. PPO ratio factorisation.
+  {
+    core::GraphRareOptions joint = base();
+    joint.ppo.joint_ratio = true;
+    PrintRow("ppo: joint ratio (SB3)", run_all(joint), 32, 14);
+    PrintRow("ppo: per-node ratio", run_all(base()), 32, 14);
+  }
+
+  // 3. Embedding projection width.
+  for (int64_t dim : {0, 16, 64, 256}) {
+    core::GraphRareOptions opts = base();
+    opts.entropy.embedding.projection_dim = dim;
+    PrintRow(dim == 0 ? std::string("embedding: raw features")
+                      : StrFormat("embedding: proj dim %lld",
+                                  static_cast<long long>(dim)),
+             run_all(opts), 32, 14);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace graphrare
+
+int main() {
+  graphrare::SetLogLevel(graphrare::LogLevel::kWarning);
+  graphrare::bench::Run();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Default ("quick") mode shrinks the dense datasets and the
+// split counts so the whole suite finishes in minutes on a laptop CPU; set
+// GRARE_BENCH_FULL=1 for the paper-scale protocol.
+
+#ifndef GRAPHRARE_BENCH_BENCH_UTIL_H_
+#define GRAPHRARE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/graphrare.h"
+
+namespace graphrare {
+namespace bench {
+
+/// Per-dataset shrink factors for quick mode (1 = full scale). The dense
+/// wiki graphs and Pubmed dominate runtime, so they shrink hardest.
+inline int64_t QuickShrinkFor(const std::string& name) {
+  if (!core::BenchFullScale()) {
+    if (name == "chameleon") return 2;
+    if (name == "squirrel") return 6;
+    if (name == "pubmed") return 6;
+    if (name == "cora") return 2;
+  }
+  return 1;
+}
+
+/// Loads a registry dataset at bench scale.
+inline data::Dataset LoadBenchDataset(const std::string& name,
+                                      uint64_t seed = 1) {
+  const int64_t shrink = core::BenchFullScale() ? 1 : QuickShrinkFor(name);
+  auto result = data::MakeDatasetScaled(name, shrink, seed);
+  GR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Standard splits for a dataset at bench scale.
+inline std::vector<data::Split> BenchSplits(const data::Dataset& ds,
+                                            int quick_splits = 2) {
+  data::SplitOptions so;
+  so.num_splits = core::BenchNumSplits(10, quick_splits);
+  return data::MakeSplits(ds.labels, ds.num_classes, so);
+}
+
+/// GraphRARE options tuned for bench scale.
+inline core::GraphRareOptions BenchRareOptions(nn::BackboneKind backbone) {
+  core::GraphRareOptions opts;
+  opts.backbone = backbone;
+  opts.adam.lr = 0.01f;
+  opts.adam.weight_decay = 5e-5f;
+  opts.seed = 7;  // same per-split model-init seeds as the baselines
+  // Pretraining gets the same supervised budget as the baseline fits so
+  // accuracy deltas isolate the topology optimization, not training time.
+  if (core::BenchFullScale()) {
+    opts.iterations = 40;
+    opts.pretrain_epochs = 200;
+    opts.pretrain_patience = 30;
+    opts.finetune_epochs = 8;
+  } else {
+    opts.iterations = 24;
+    opts.pretrain_epochs = 100;
+    opts.pretrain_patience = 20;
+    opts.finetune_epochs = 6;
+  }
+  opts.ppo.steps_per_update = 6;
+  return opts;
+}
+
+/// Baseline fit budget at bench scale.
+inline core::ExperimentOptions BenchBaselineOptions() {
+  core::ExperimentOptions opts;
+  if (core::BenchFullScale()) {
+    opts.max_epochs = 200;
+    opts.patience = 30;
+  } else {
+    opts.max_epochs = 100;
+    opts.patience = 20;
+  }
+  return opts;
+}
+
+/// "85.16 ±1.01"-style cell.
+inline std::string AccCell(const core::RunStats& s) {
+  return StrFormat("%5.2f ±%.2f", 100.0 * s.mean, 100.0 * s.stddev);
+}
+
+/// Header banner shared by all benches.
+inline void PrintBanner(const char* experiment, const char* paper_ref) {
+  std::printf("=======================================================\n");
+  std::printf("GraphRARE reproduction — %s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("Mode: %s (set GRARE_BENCH_FULL=1 for paper-scale)\n",
+              core::BenchFullScale() ? "FULL" : "QUICK");
+  std::printf("=======================================================\n\n");
+}
+
+/// Row printer: name column + cells.
+inline void PrintRow(const std::string& name,
+                     const std::vector<std::string>& cells,
+                     size_t name_width = 24, size_t cell_width = 14) {
+  std::printf("%s", PadRight(name, name_width).c_str());
+  for (const auto& c : cells) std::printf("%s", PadLeft(c, cell_width).c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Regenerates Figure 5: accuracy grids under *fixed* (k, d) for every node,
+// compared against the DRL-chosen per-node values. One ASCII heatmap per
+// (backbone, dataset) pair; the DRL row is appended below each grid.
+//
+// Shape expectation: the DRL accuracy matches or beats the best fixed cell
+// (the paper's argument for per-node "personality"), and removing many
+// edges (large d) hurts more than adding many (large k).
+
+#include "bench/bench_util.h"
+
+namespace graphrare {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 5: fixed (k, d) grids vs DRL",
+              "Sec. V-F.1, Fig. 5 heatmaps");
+
+  const std::vector<std::string> datasets =
+      core::BenchFullScale()
+          ? std::vector<std::string>{"chameleon", "squirrel", "cora"}
+          : std::vector<std::string>{"chameleon", "cora"};
+  const std::vector<std::pair<nn::BackboneKind, const char*>> backbones =
+      core::BenchFullScale()
+          ? std::vector<std::pair<nn::BackboneKind, const char*>>{
+                {nn::BackboneKind::kGcn, "GCN"},
+                {nn::BackboneKind::kSage, "GraphSAGE"},
+                {nn::BackboneKind::kGat, "GAT"},
+                {nn::BackboneKind::kH2Gcn, "H2GCN"}}
+          : std::vector<std::pair<nn::BackboneKind, const char*>>{
+                {nn::BackboneKind::kGcn, "GCN"},
+                {nn::BackboneKind::kSage, "GraphSAGE"}};
+  const std::vector<int> grid = core::BenchFullScale()
+                                    ? std::vector<int>{0, 1, 2, 3, 4, 5}
+                                    : std::vector<int>{0, 2, 4};
+
+  for (const auto& ds_name : datasets) {
+    const data::Dataset ds = LoadBenchDataset(ds_name);
+    const auto splits = BenchSplits(ds, /*quick_splits=*/1);
+    for (const auto& [kind, bname] : backbones) {
+      std::printf("\n--- %s on %s (rows: k added, cols: d removed) ---\n",
+                  bname, ds_name.c_str());
+      std::printf("%6s", "");
+      for (int d : grid) std::printf("  d=%-5d", d);
+      std::printf("\n");
+      double best_fixed = 0.0;
+      for (int k : grid) {
+        std::printf("k=%-4d", k);
+        for (int d : grid) {
+          std::fprintf(stderr, "[fig5] %s %s k=%d d=%d...\n", bname,
+                       ds_name.c_str(), k, d);
+          core::GraphRareOptions opts = BenchRareOptions(kind);
+          opts.policy_mode = core::PolicyMode::kFixed;
+          opts.fixed_k = k;
+          opts.fixed_d = d;
+          opts.k_max = std::max(k, 1);
+          opts.d_max = std::max(d, 1);
+          opts.iterations = 4;  // fixed state converges immediately
+          const auto agg = core::RunGraphRare(ds, splits, opts);
+          best_fixed = std::max(best_fixed, agg.accuracy.mean);
+          std::printf("  %6.2f ", 100.0 * agg.accuracy.mean);
+        }
+        std::printf("\n");
+      }
+      core::GraphRareOptions drl = BenchRareOptions(kind);
+      const auto agg = core::RunGraphRare(ds, splits, drl);
+      std::printf("DRL (per-node k,d): %.2f   | best fixed cell: %.2f\n",
+                  100.0 * agg.accuracy.mean, 100.0 * best_fixed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace graphrare
+
+int main() {
+  graphrare::SetLogLevel(graphrare::LogLevel::kWarning);
+  graphrare::bench::Run();
+  return 0;
+}

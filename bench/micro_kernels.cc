@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the library's hot kernels: dense
+// matmul, SpMM, GCN forward/backward, relative-entropy construction, graph
+// editing, and one PPO update. These back the Table VI timing analysis at
+// kernel granularity.
+
+#include <benchmark/benchmark.h>
+
+#include "core/graphrare.h"
+
+namespace graphrare {
+namespace {
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn(n, n, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<tensor::CooEntry> entries;
+  for (int64_t i = 0; i < n * 8; ++i) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(n)),
+                       static_cast<int64_t>(rng.UniformInt(n)), 1.0f});
+  }
+  auto m = tensor::CsrMatrix::FromCoo(n, n, std::move(entries));
+  tensor::Tensor x = tensor::Tensor::Randn(n, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SpMM(x));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(5000)->Arg(20000);
+
+data::Dataset BenchDataset(int64_t nodes) {
+  data::GeneratorOptions o;
+  o.num_nodes = nodes;
+  o.num_edges = nodes * 4;
+  o.num_features = 256;
+  o.num_classes = 5;
+  o.homophily = 0.25;
+  o.seed = 3;
+  return std::move(data::GenerateDataset(o)).value();
+}
+
+void BM_GcnEpoch(benchmark::State& state) {
+  data::Dataset ds = BenchDataset(state.range(0));
+  auto splits = data::MakeSplits(ds.labels, ds.num_classes,
+                                 {.num_splits = 1});
+  nn::ModelOptions mo;
+  mo.in_features = ds.num_features();
+  mo.hidden = 64;
+  mo.num_classes = ds.num_classes;
+  mo.seed = 1;
+  auto model = nn::MakeModel(nn::BackboneKind::kGcn, mo);
+  nn::ClassifierTrainer trainer(model.get(),
+                                nn::LayerInput::Sparse(ds.FeaturesCsr()),
+                                &ds.labels, {});
+  for (auto _ : state) {
+    trainer.TrainEpoch(ds.graph, splits[0].train);
+  }
+}
+BENCHMARK(BM_GcnEpoch)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_EntropyIndexBuild(benchmark::State& state) {
+  data::Dataset ds = BenchDataset(state.range(0));
+  for (auto _ : state) {
+    auto index = entropy::RelativeEntropyIndex::Build(ds.graph, ds.features,
+                                                      {});
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_EntropyIndexBuild)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_StructuralEntropyPair(benchmark::State& state) {
+  data::Dataset ds = BenchDataset(2000);
+  entropy::StructuralEntropyCalculator calc(ds.graph);
+  Rng rng(4);
+  for (auto _ : state) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(2000));
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(2000));
+    benchmark::DoNotOptimize(calc.Between(v, u));
+  }
+}
+BENCHMARK(BM_StructuralEntropyPair);
+
+void BM_TopologyRebuild(benchmark::State& state) {
+  data::Dataset ds = BenchDataset(state.range(0));
+  auto index = std::move(
+      *entropy::RelativeEntropyIndex::Build(ds.graph, ds.features, {}));
+  core::TopologyState s(ds.num_nodes(), 5, 5);
+  s.SetUniform(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildOptimizedGraph(ds.graph, s, index));
+  }
+}
+BENCHMARK(BM_TopologyRebuild)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_PpoUpdate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  rl::PpoOptions opts;
+  opts.steps_per_update = 4;
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rl::PpoAgent agent(core::kObservationDim, opts);
+    tensor::Tensor obs = tensor::Tensor::Rand(n, core::kObservationDim, &rng);
+    for (int i = 0; i < 4; ++i) {
+      agent.Act(obs);
+      agent.StoreReward(0.1);
+    }
+    state.ResumeTiming();
+    agent.Update(obs);
+  }
+}
+BENCHMARK(BM_PpoUpdate)->Arg(500)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace graphrare
+
+BENCHMARK_MAIN();

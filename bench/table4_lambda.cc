@@ -1,0 +1,76 @@
+// Regenerates Table IV: sensitivity of the relative-entropy mixing weight
+// lambda (Eq. 9). For each enhanced model and dataset, sweeps
+// lambda in {0.1, 0.5, 1.0, 10.0}.
+//
+// Shape expectation: lambda = 1.0 (features and structure weighted equally)
+// is the best or near-best column, and both extremes (feature-entropy-only
+// and structure-entropy-heavy) lose accuracy — the paper's Sec. V-E finding.
+
+#include "bench/bench_util.h"
+
+namespace graphrare {
+namespace bench {
+namespace {
+
+const char* kDatasets[] = {"chameleon", "squirrel", "cornell", "texas",
+                           "wisconsin", "cora", "pubmed"};
+const double kLambdas[] = {0.1, 0.5, 1.0, 10.0};
+
+void Run() {
+  PrintBanner("Table IV: hyper-parameter (lambda) analysis",
+              "Sec. V-E, Table IV");
+
+  const nn::BackboneKind kinds[] = {nn::BackboneKind::kGcn,
+                                    nn::BackboneKind::kSage,
+                                    nn::BackboneKind::kGat,
+                                    nn::BackboneKind::kH2Gcn};
+  const char* names[] = {"GCN-RARE", "GraphSAGE-RARE", "GAT-RARE",
+                         "H2GCN-RARE"};
+
+  // Quick mode trims the sweep to the GCN and SAGE rows (the paper's
+  // finding is identical across backbones); full mode runs all four.
+  const size_t num_models = core::BenchFullScale() ? 4 : 2;
+  const int quick_splits = 1;
+
+  // Preload datasets + splits once.
+  std::vector<data::Dataset> datasets;
+  std::vector<std::vector<data::Split>> all_splits;
+  for (const char* ds_name : kDatasets) {
+    datasets.push_back(LoadBenchDataset(ds_name));
+    all_splits.push_back(BenchSplits(datasets.back(), quick_splits));
+  }
+
+  for (size_t m = 0; m < num_models; ++m) {
+    std::printf("\n%s\n", names[m]);
+    PrintRow("lambda",
+             {"Chameleon", "Squirrel", "Cornell", "Texas", "Wisconsin",
+              "Cora", "Pubmed", "Average"},
+             10, 13);
+    std::printf("%s\n", std::string(10 + 8 * 13, '-').c_str());
+    for (double lambda : kLambdas) {
+      std::vector<std::string> cells;
+      double sum = 0.0;
+      for (size_t d = 0; d < 7; ++d) {
+        std::fprintf(stderr, "[table4] %s lambda=%.1f %s...\n", names[m],
+                     lambda, kDatasets[d]);
+        core::GraphRareOptions opts = BenchRareOptions(kinds[m]);
+        opts.entropy.lambda = lambda;
+        const auto agg = core::RunGraphRare(datasets[d], all_splits[d], opts);
+        cells.push_back(AccCell(agg.accuracy));
+        sum += agg.accuracy.mean;
+      }
+      cells.push_back(StrFormat("%5.2f", 100.0 * sum / 7.0));
+      PrintRow(StrFormat("%.1f", lambda), cells, 10, 13);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace graphrare
+
+int main() {
+  graphrare::SetLogLevel(graphrare::LogLevel::kWarning);
+  graphrare::bench::Run();
+  return 0;
+}

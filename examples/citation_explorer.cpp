@@ -1,0 +1,91 @@
+// Citation-network explorer: uses the library's *components* directly —
+// entropy index, per-node sequences, manual topology edits — rather than
+// the end-to-end trainer. Demonstrates the public API at the level a
+// downstream system (e.g. a graph database doing query-time rewiring)
+// would consume it.
+//
+// Run: ./build/examples/citation_explorer
+
+#include <cstdio>
+
+#include "core/graphrare.h"
+
+using namespace graphrare;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("=== Citation network explorer (Cora twin) ===\n\n");
+
+  data::Dataset cora = *data::MakeDataset("cora", /*seed=*/3);
+  std::printf("Citation graph: %lld papers, %lld citations, homophily %.2f, "
+              "%lld components\n\n",
+              static_cast<long long>(cora.num_nodes()),
+              static_cast<long long>(cora.graph.num_edges()),
+              cora.Homophily(),
+              static_cast<long long>(cora.graph.CountConnectedComponents()));
+
+  // 1. Build the relative-entropy index once (Sec. IV-A of the paper).
+  entropy::EntropyOptions eopts;
+  eopts.lambda = 1.0;
+  Stopwatch watch;
+  auto index = std::move(
+      *entropy::RelativeEntropyIndex::Build(cora.graph, cora.features, eopts));
+  std::printf("Entropy index built in %.2fs (%lld nodes)\n\n",
+              watch.ElapsedSeconds(),
+              static_cast<long long>(index.num_nodes()));
+
+  // 2. Inspect one paper's entropy sequences: do the top-ranked remote
+  //    candidates share its research area (label)?
+  const int64_t probe = 42;
+  const auto& seq = index.sequences(probe);
+  std::printf("Paper %lld (area %lld, %lld citations):\n",
+              static_cast<long long>(probe),
+              static_cast<long long>(cora.labels[probe]),
+              static_cast<long long>(cora.graph.Degree(probe)));
+  std::printf("  top remote candidates by relative entropy:\n");
+  int64_t same = 0;
+  const size_t top_n = std::min<size_t>(5, seq.remote.size());
+  for (size_t i = 0; i < top_n; ++i) {
+    const auto& cand = seq.remote[i];
+    const bool match = cora.labels[static_cast<size_t>(cand.node)] ==
+                       cora.labels[static_cast<size_t>(probe)];
+    same += match ? 1 : 0;
+    std::printf("    #%zu node %-5lld H=%.3f  area %lld %s\n", i + 1,
+                static_cast<long long>(cand.node), cand.entropy,
+                static_cast<long long>(
+                    cora.labels[static_cast<size_t>(cand.node)]),
+                match ? "(same area)" : "");
+  }
+  std::printf("  -> %lld/%zu top candidates share the research area\n\n",
+              static_cast<long long>(same), top_n);
+
+  // 3. Hand-drive the topology optimizer: connect every paper to its top-2
+  //    candidates and drop its single most dissimilar citation.
+  core::TopologyState state(cora.num_nodes(), /*k_max=*/2, /*d_max=*/1);
+  state.SetUniform(2, 1);
+  graph::Graph rewired = core::BuildOptimizedGraph(cora.graph, state, index);
+  std::printf("Uniform rewiring (k=2, d=1): %lld -> %lld edges, homophily "
+              "%.3f -> %.3f\n",
+              static_cast<long long>(cora.graph.num_edges()),
+              static_cast<long long>(rewired.num_edges()), cora.Homophily(),
+              rewired.EdgeHomophily(cora.labels));
+
+  // 4. Compare a GCN trained on original vs rewired topology.
+  data::SplitOptions so;
+  so.num_splits = 2;
+  const auto splits = data::MakeSplits(cora.labels, cora.num_classes, so);
+  core::ExperimentOptions exp;
+  exp.num_splits = 2;
+  const auto on_original =
+      core::RunBackbone(cora, splits, nn::BackboneKind::kGcn, exp);
+  const auto on_rewired = core::RunBackbone(
+      cora, splits, nn::BackboneKind::kGcn, exp, &rewired);
+  std::printf("GCN accuracy: %.2f%% (original) vs %.2f%% (rewired)\n",
+              100.0 * on_original.accuracy.mean,
+              100.0 * on_rewired.accuracy.mean);
+  std::printf(
+      "\nOn an already homophilic citation graph, uniform rewiring changes\n"
+      "little — the per-node, learned (k, d) of the full framework is what\n"
+      "protects homophilic graphs from harmful edits (paper Sec. V-D).\n");
+  return 0;
+}

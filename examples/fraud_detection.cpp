@@ -1,0 +1,109 @@
+// Fraud detection on a transaction network — the paper's motivating
+// heterophily scenario ("fraudsters are more likely to build connections
+// with customers instead of other fraudsters").
+//
+// We synthesise a bipartite-leaning transaction graph: fraudsters link
+// almost exclusively to legitimate customers, so 1-hop neighbourhoods are
+// maximally misleading for a message-passing GNN while 2-hop neighbourhoods
+// (fraudster -> customer -> fraudster) are informative. GraphRARE's entropy
+// ranking surfaces those remote same-role nodes, and the DRL agent learns
+// per-node how many to connect.
+//
+// Run: ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "core/graphrare.h"
+
+using namespace graphrare;
+
+namespace {
+
+/// Builds the transaction network: classes {0 = customer, 1 = fraudster,
+/// 2 = merchant} with near-zero homophily and strong partner structure.
+data::Dataset MakeTransactionNetwork() {
+  data::GeneratorOptions opts;
+  opts.name = "transactions";
+  opts.num_nodes = 900;
+  opts.num_edges = 2600;
+  opts.num_features = 128;  // behavioural features (velocity, amounts, ...)
+  opts.num_classes = 3;
+  opts.homophily = 0.06;        // fraudsters basically never link directly
+  opts.partner_affinity = 0.9;  // fraud -> customer, merchant -> customer
+  opts.feature_signal = 6.0;    // behavioural features are informative but
+  opts.feature_density = 0.08;  // noisy — structure must contribute
+  opts.seed = 2026;
+  return std::move(data::GenerateDataset(opts)).value();
+}
+
+double RunBackboneOnly(const data::Dataset& ds,
+                       const std::vector<data::Split>& splits) {
+  core::ExperimentOptions opts;
+  opts.num_splits = static_cast<int>(splits.size());
+  return core::RunBackbone(ds, splits, nn::BackboneKind::kSage, opts)
+      .accuracy.mean;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("=== Fraud detection under extreme heterophily ===\n\n");
+
+  data::Dataset network = MakeTransactionNetwork();
+  std::printf(
+      "Transaction graph: %lld accounts, %lld edges, homophily %.3f\n"
+      "(fraudsters connect to customers, almost never to each other)\n\n",
+      static_cast<long long>(network.num_nodes()),
+      static_cast<long long>(network.graph.num_edges()),
+      network.Homophily());
+
+  data::SplitOptions so;
+  so.num_splits = 3;
+  const auto splits = data::MakeSplits(network.labels, network.num_classes, so);
+
+  // 1. How badly does vanilla message passing do here?
+  const double sage_acc = RunBackboneOnly(network, splits);
+  std::printf("GraphSAGE on raw topology:       %.2f%%\n", 100.0 * sage_acc);
+
+  // 2. GraphRARE: let the agent rewire towards informative remote accounts.
+  core::GraphRareOptions rare;
+  rare.backbone = nn::BackboneKind::kSage;
+  rare.adam.lr = 0.01f;
+  rare.iterations = 16;
+  rare.k_max = 6;  // fraud rings are small: allow several new links
+  rare.d_max = 4;  // and drop the most misleading customer edges
+  const auto enhanced = core::RunGraphRare(network, splits, rare);
+  std::printf("GraphSAGE-RARE (rewired):        %.2f%%\n",
+              100.0 * enhanced.accuracy.mean);
+  std::printf("Homophily after rewiring:        %.3f -> %.3f\n\n",
+              enhanced.mean_initial_homophily, enhanced.mean_final_homophily);
+
+  // 3. Audit the rewiring: how many of the agent's added edges connect
+  //    same-role accounts (the useful long-range links)?
+  const core::GraphRareResult& run = enhanced.last_run;
+  int64_t added_same = 0, added_total = 0;
+  for (const auto& [u, v] : run.best_graph.edges()) {
+    if (!network.graph.HasEdge(u, v)) {
+      ++added_total;
+      if (network.labels[static_cast<size_t>(u)] ==
+          network.labels[static_cast<size_t>(v)]) {
+        ++added_same;
+      }
+    }
+  }
+  if (added_total > 0) {
+    std::printf("Agent-added edges: %lld, of which %.1f%% connect same-role "
+                "accounts\n",
+                static_cast<long long>(added_total),
+                100.0 * static_cast<double>(added_same) /
+                    static_cast<double>(added_total));
+  } else {
+    std::printf("Agent added no edges on the selected best graph.\n");
+  }
+  std::printf(
+      "\nInterpretation: the relative-entropy ranking finds remote accounts\n"
+      "with fraud-like behaviour AND fraud-like local structure; connecting\n"
+      "them gives message passing a same-role neighbourhood to aggregate.\n");
+  return 0;
+}

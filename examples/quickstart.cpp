@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful GraphRARE program.
+//
+// Generates a heterophilic graph, trains a plain GCN baseline, then trains
+// GCN-RARE (entropy-guided, DRL-optimized topology) and compares test
+// accuracy and graph homophily.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/graphrare.h"
+
+using namespace graphrare;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  // 1. A dataset. Registry names: chameleon, squirrel, cornell, texas,
+  //    wisconsin, cora, pubmed (synthetic twins of the paper's benchmarks).
+  auto dataset_or = data::MakeDataset("cornell", /*seed=*/1);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  data::Dataset dataset = std::move(dataset_or).value();
+  std::printf("Loaded %s: %lld nodes, %lld edges, homophily %.2f\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.num_nodes()),
+              static_cast<long long>(dataset.graph.num_edges()),
+              dataset.Homophily());
+
+  // 2. The paper's split protocol: 60/20/20 per class.
+  const auto splits = data::MakeSplits(dataset.labels, dataset.num_classes);
+
+  // 3. Baseline: plain GCN on the original topology.
+  core::ExperimentOptions baseline_opts;
+  baseline_opts.num_splits = 3;
+  const auto baseline = core::RunBackbone(
+      dataset, {splits.begin(), splits.begin() + 3}, nn::BackboneKind::kGcn,
+      baseline_opts);
+  std::printf("GCN baseline:  %.2f%% (±%.2f) test accuracy\n",
+              100.0 * baseline.accuracy.mean, 100.0 * baseline.accuracy.stddev);
+
+  // 4. GraphRARE: co-train the same backbone with the PPO topology agent.
+  core::GraphRareOptions rare_opts;
+  rare_opts.backbone = nn::BackboneKind::kGcn;
+  rare_opts.adam.lr = 0.01f;
+  rare_opts.iterations = 16;
+  const auto rare = core::RunGraphRare(
+      dataset, {splits.begin(), splits.begin() + 3}, rare_opts);
+  std::printf("GCN-RARE:      %.2f%% (±%.2f) test accuracy\n",
+              100.0 * rare.accuracy.mean, 100.0 * rare.accuracy.stddev);
+  std::printf("Homophily:     %.2f -> %.2f after topology optimization\n",
+              rare.mean_initial_homophily, rare.mean_final_homophily);
+  std::printf("Entropy build: %.3fs (computed once before co-training)\n",
+              rare.mean_entropy_seconds);
+
+  // 5. Inspect the last run's optimized graph.
+  const core::GraphRareResult& last = rare.last_run;
+  std::printf("Optimized graph: %lld -> %lld edges\n",
+              static_cast<long long>(last.initial_edges),
+              static_cast<long long>(last.final_edges));
+  return 0;
+}

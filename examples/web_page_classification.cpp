@@ -1,0 +1,85 @@
+// Web-page classification on a WebKB-style university web graph — the
+// paper's core benchmark family (Cornell/Texas/Wisconsin).
+//
+// University web pages link across categories (student pages link to
+// faculty, courses link to staff), so hyperlink neighbourhoods are
+// heterophilic while page text (bag of words) is strongly predictive. This
+// example compares every backbone and shows what GraphRARE adds on top of
+// the strongest one, and demonstrates the lambda knob of the relative
+// entropy (Eq. 9).
+//
+// Run: ./build/examples/web_page_classification
+
+#include <cstdio>
+
+#include "core/graphrare.h"
+
+using namespace graphrare;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("=== Web page classification (WebKB-style) ===\n\n");
+
+  // The registry's Texas twin: 183 pages, H = 0.11 — the most heterophilic
+  // dataset in the paper.
+  data::Dataset pages = *data::MakeDataset("texas", /*seed=*/7);
+  std::printf("Web graph: %lld pages, %lld hyperlinks, homophily %.2f\n\n",
+              static_cast<long long>(pages.num_nodes()),
+              static_cast<long long>(pages.graph.num_edges()),
+              pages.Homophily());
+
+  data::SplitOptions so;
+  so.num_splits = 3;
+  const auto splits = data::MakeSplits(pages.labels, pages.num_classes, so);
+
+  // 1. Backbone shoot-out on the raw hyperlink graph.
+  std::printf("%-12s %s\n", "Backbone", "Test accuracy (raw topology)");
+  core::ExperimentOptions exp;
+  exp.num_splits = 3;
+  double best_acc = 0.0;
+  nn::BackboneKind best_kind = nn::BackboneKind::kMlp;
+  for (nn::BackboneKind kind :
+       {nn::BackboneKind::kMlp, nn::BackboneKind::kGcn,
+        nn::BackboneKind::kSage, nn::BackboneKind::kGat,
+        nn::BackboneKind::kH2Gcn}) {
+    const auto agg = core::RunBackbone(pages, splits, kind, exp);
+    std::printf("%-12s %.2f%% (±%.2f)\n", nn::BackboneName(kind),
+                100.0 * agg.accuracy.mean, 100.0 * agg.accuracy.stddev);
+    if (agg.accuracy.mean > best_acc && kind != nn::BackboneKind::kMlp) {
+      best_acc = agg.accuracy.mean;
+      best_kind = kind;
+    }
+  }
+
+  // 2. GraphRARE on the strongest graph backbone.
+  std::printf("\nEnhancing %s with GraphRARE...\n",
+              nn::BackboneName(best_kind));
+  core::GraphRareOptions rare;
+  rare.backbone = best_kind;
+  rare.adam.lr = 0.01f;
+  rare.iterations = 16;
+  const auto enhanced = core::RunGraphRare(pages, splits, rare);
+  std::printf("%s-RARE: %.2f%% (±%.2f), homophily %.2f -> %.2f\n",
+              nn::BackboneName(best_kind), 100.0 * enhanced.accuracy.mean,
+              100.0 * enhanced.accuracy.stddev,
+              enhanced.mean_initial_homophily,
+              enhanced.mean_final_homophily);
+
+  // 3. The lambda knob: feature entropy only (0.1) vs balanced (1.0) vs
+  //    structure-heavy (10).
+  std::printf("\nRelative-entropy mixing weight (Eq. 9):\n");
+  for (double lambda : {0.1, 1.0, 10.0}) {
+    core::GraphRareOptions opts = rare;
+    opts.entropy.lambda = lambda;
+    opts.iterations = 12;
+    const auto agg = core::RunGraphRare(
+        pages, {splits.begin(), splits.begin() + 1}, opts);
+    std::printf("  lambda=%-5.1f -> %.2f%%\n", lambda,
+                100.0 * agg.accuracy.mean);
+  }
+  std::printf(
+      "\nTakeaway: on feature-rich heterophilic graphs the MLP already beats\n"
+      "vanilla GNNs (the paper's Table III pattern); GraphRARE rewires the\n"
+      "topology until message passing helps instead of hurting.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// GR_CHECK family: invariant assertions that abort with a diagnostic.
+// Used for programming errors (bad indices, shape mismatches); recoverable
+// conditions use Status instead.
+
+#ifndef GRAPHRARE_COMMON_CHECK_H_
+#define GRAPHRARE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace graphrare {
+namespace internal {
+
+/// Accumulates the streamed message and aborts on destruction (at the end of
+/// the failing full-expression).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  const CheckFailureStream& operator<<(const T& v) const {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  mutable std::ostringstream stream_;
+};
+
+/// glog-style voidify: `&` binds looser than `<<`, so the whole streamed
+/// chain evaluates before being discarded, and the ternary in GR_CHECK stays
+/// well-typed (both arms are void).
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace internal
+}  // namespace graphrare
+
+#define GR_CHECK(cond)                                 \
+  (cond) ? (void)0                                     \
+         : ::graphrare::internal::Voidify() &          \
+               ::graphrare::internal::CheckFailureStream("GR_CHECK", __FILE__, \
+                                                         __LINE__, #cond)
+
+#define GR_CHECK_OP_(op, a, b)                                                \
+  ((a)op(b)) ? (void)0                                                        \
+             : ::graphrare::internal::Voidify() &                             \
+                   ::graphrare::internal::CheckFailureStream(                 \
+                       "GR_CHECK", __FILE__, __LINE__, #a " " #op " " #b)     \
+                       << "(" << (a) << " vs " << (b) << ") "
+
+#define GR_CHECK_EQ(a, b) GR_CHECK_OP_(==, a, b)
+#define GR_CHECK_NE(a, b) GR_CHECK_OP_(!=, a, b)
+#define GR_CHECK_LT(a, b) GR_CHECK_OP_(<, a, b)
+#define GR_CHECK_LE(a, b) GR_CHECK_OP_(<=, a, b)
+#define GR_CHECK_GT(a, b) GR_CHECK_OP_(>, a, b)
+#define GR_CHECK_GE(a, b) GR_CHECK_OP_(>=, a, b)
+
+/// Aborts if a Status expression is not OK (for call sites that cannot fail
+/// by construction).
+#define GR_CHECK_OK(expr)                                               \
+  do {                                                                  \
+    const ::graphrare::Status _gr_st = (expr);                          \
+    GR_CHECK(_gr_st.ok()) << _gr_st.ToString();                         \
+  } while (0)
+
+// Debug-only checks compile away in release builds (hot loops).
+#ifdef NDEBUG
+#define GR_DCHECK(cond) \
+  while (false) GR_CHECK(cond)
+#define GR_DCHECK_EQ(a, b) \
+  while (false) GR_CHECK_EQ(a, b)
+#define GR_DCHECK_LT(a, b) \
+  while (false) GR_CHECK_LT(a, b)
+#define GR_DCHECK_LE(a, b) \
+  while (false) GR_CHECK_LE(a, b)
+#else
+#define GR_DCHECK(cond) GR_CHECK(cond)
+#define GR_DCHECK_EQ(a, b) GR_CHECK_EQ(a, b)
+#define GR_DCHECK_LT(a, b) GR_CHECK_LT(a, b)
+#define GR_DCHECK_LE(a, b) GR_CHECK_LE(a, b)
+#endif
+
+#endif  // GRAPHRARE_COMMON_CHECK_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Minimal leveled logging to stderr. GR_LOG(INFO) << "..." style.
+// The global level gates output; benches set it to WARNING to keep tables
+// clean.
+
+#ifndef GRAPHRARE_COMMON_LOGGING_H_
+#define GRAPHRARE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace graphrare {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/' || *p == '\\') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Severity aliases so GR_LOG(INFO) reads like glog while the enum keeps
+// Google-style kCamelCase enumerators.
+inline constexpr LogLevel kLogSeverityDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogSeverityINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogSeverityWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLogSeverityERROR = LogLevel::kError;
+
+}  // namespace internal
+
+#define GR_LOG(severity)                                             \
+  ::graphrare::internal::LogMessage(                                 \
+      ::graphrare::internal::kLogSeverity##severity, __FILE__, __LINE__)
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Result<T>: a Status or a value (StatusOr idiom).
+
+#ifndef GRAPHRARE_COMMON_RESULT_H_
+#define GRAPHRARE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace graphrare {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of an errored Result aborts (GR_CHECK), so
+/// callers must test ok() first or use ValueOrDie() deliberately.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success path reads naturally: `return graph;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Constructing from an OK status is a
+  /// programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    GR_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if !ok().
+  const T& value() const& {
+    GR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Explicit alias for call sites that intentionally assume success.
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+  const T& ValueOrDie() const& { return value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors (Arrow's ARROW_ASSIGN_OR_RAISE).
+#define GR_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto GR_CONCAT_(_gr_result_, __LINE__) = (expr);  \
+  if (!GR_CONCAT_(_gr_result_, __LINE__).ok())      \
+    return GR_CONCAT_(_gr_result_, __LINE__).status(); \
+  lhs = std::move(GR_CONCAT_(_gr_result_, __LINE__)).value()
+
+#define GR_CONCAT_INNER_(a, b) a##b
+#define GR_CONCAT_(a, b) GR_CONCAT_INNER_(a, b)
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_RESULT_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Wall-clock stopwatch for the runtime experiments (Table VI) and internal
+// telemetry.
+
+#ifndef GRAPHRARE_COMMON_STOPWATCH_H_
+#define GRAPHRARE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace graphrare {
+
+/// Measures elapsed wall time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_STOPWATCH_H_

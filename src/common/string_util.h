@@ -1,0 +1,60 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Small string helpers used by table printers and diagnostics.
+
+#ifndef GRAPHRARE_COMMON_STRING_UTIL_H_
+#define GRAPHRARE_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace graphrare {
+
+/// printf-style formatting into a std::string.
+inline std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+/// Joins elements with a separator.
+inline std::string StrJoin(const std::vector<std::string>& parts,
+                           const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Pads or truncates to a fixed width (left-aligned) for ASCII tables.
+inline std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+inline std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,140 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace graphrare {
+namespace core {
+
+RunStats Aggregate(const std::vector<double>& values) {
+  RunStats stats;
+  stats.values = values;
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+  // Sample standard deviation (ddof=1) to match the paper's +/- columns.
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+namespace {
+
+nn::ModelOptions ToModelOptions(const data::Dataset& dataset,
+                                const ExperimentOptions& options,
+                                uint64_t seed) {
+  nn::ModelOptions mo;
+  mo.in_features = dataset.num_features();
+  mo.hidden = options.hidden;
+  mo.num_classes = dataset.num_classes;
+  mo.num_layers = options.num_layers;
+  mo.dropout = options.dropout;
+  mo.gat_heads = options.gat_heads;
+  mo.seed = seed;
+  return mo;
+}
+
+}  // namespace
+
+BaselineAggregate RunBackbone(const data::Dataset& dataset,
+                              const std::vector<data::Split>& splits,
+                              nn::BackboneKind kind,
+                              const ExperimentOptions& options,
+                              const graph::Graph* graph_override) {
+  return RunCustomModel(
+      dataset, splits,
+      [&](uint64_t seed) {
+        return nn::MakeModel(kind, ToModelOptions(dataset, options, seed));
+      },
+      options, graph_override);
+}
+
+BaselineAggregate RunCustomModel(
+    const data::Dataset& dataset, const std::vector<data::Split>& splits,
+    const std::function<std::unique_ptr<nn::NodeClassifier>(uint64_t seed)>&
+        factory,
+    const ExperimentOptions& options, const graph::Graph* graph_override) {
+  const graph::Graph& g = graph_override ? *graph_override : dataset.graph;
+  std::vector<double> accs;
+  double total_seconds = 0.0;
+  int64_t total_epochs = 0;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    const uint64_t seed = options.seed + 1000 * (s + 1);
+    auto model = factory(seed);
+    nn::ClassifierTrainer::Options trainer_opts;
+    trainer_opts.adam = options.adam;
+    trainer_opts.seed = seed;
+    nn::ClassifierTrainer trainer(model.get(),
+                                  nn::LayerInput::Sparse(dataset.FeaturesCsr()),
+                                  &dataset.labels, trainer_opts);
+    Stopwatch watch;
+    const nn::FitResult fit =
+        trainer.Fit(g, splits[s].train, splits[s].val, options.max_epochs,
+                    options.patience);
+    total_seconds += watch.ElapsedSeconds();
+    total_epochs += fit.epochs_run;
+    accs.push_back(trainer.Evaluate(g, splits[s].test).accuracy);
+  }
+  BaselineAggregate agg;
+  agg.accuracy = Aggregate(accs);
+  agg.seconds_per_epoch =
+      total_epochs > 0 ? total_seconds / static_cast<double>(total_epochs)
+                       : 0.0;
+  return agg;
+}
+
+GraphRareAggregate RunGraphRare(const data::Dataset& dataset,
+                                const std::vector<data::Split>& splits,
+                                const GraphRareOptions& options) {
+  GraphRareAggregate agg;
+  std::vector<double> accs;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    GraphRareOptions per_split = options;
+    per_split.seed = options.seed + 1000 * (s + 1);
+    GraphRareTrainer trainer(&dataset, per_split);
+    GraphRareResult result = trainer.Run(splits[s]);
+    accs.push_back(result.test_accuracy);
+    agg.mean_initial_homophily += result.initial_homophily;
+    agg.mean_final_homophily += result.final_homophily;
+    agg.mean_entropy_seconds += result.entropy_build_seconds;
+    agg.mean_train_seconds += result.train_seconds;
+    if (s + 1 == splits.size()) agg.last_run = std::move(result);
+  }
+  const double inv = splits.empty()
+                         ? 0.0
+                         : 1.0 / static_cast<double>(splits.size());
+  agg.accuracy = Aggregate(accs);
+  agg.mean_initial_homophily *= inv;
+  agg.mean_final_homophily *= inv;
+  agg.mean_entropy_seconds *= inv;
+  agg.mean_train_seconds *= inv;
+  // Rough per-epoch figure for Table VI: iterations + pretrain epochs.
+  const double epochs = static_cast<double>(options.pretrain_epochs +
+                                            options.iterations *
+                                                (1 + options.finetune_epochs));
+  agg.seconds_per_epoch =
+      epochs > 0 ? agg.mean_train_seconds / epochs : 0.0;
+  return agg;
+}
+
+bool BenchFullScale() {
+  const char* env = std::getenv("GRARE_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+int BenchNumSplits(int full_scale, int quick) {
+  return BenchFullScale() ? full_scale : quick;
+}
+
+int64_t BenchShrink(int64_t quick_shrink) {
+  return BenchFullScale() ? 1 : quick_shrink;
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,64 @@
+#include "core/observation.h"
+
+#include <algorithm>
+
+namespace graphrare {
+namespace core {
+
+tensor::Tensor BuildObservation(const graph::Graph& original,
+                                const graph::Graph& current,
+                                const TopologyState& state,
+                                const entropy::RelativeEntropyIndex& index,
+                                double last_reward) {
+  const int64_t n = original.num_nodes();
+  GR_CHECK_EQ(current.num_nodes(), n);
+  GR_CHECK_EQ(state.num_nodes(), n);
+  tensor::Tensor obs(n, kObservationDim);
+
+  const double max_deg =
+      std::max<int64_t>(1, original.MaxDegree());
+  const double entropy_scale = 1.0 + index.lambda();
+  const double reward_feature =
+      std::clamp(last_reward, -1.0, 1.0);
+
+  for (int64_t v = 0; v < n; ++v) {
+    const entropy::NodeSequences& seq = index.sequences(v);
+    float* row = obs.row(v);
+    row[0] = static_cast<float>(original.Degree(v) / max_deg);
+    row[1] = state.k_max() > 0
+                 ? static_cast<float>(state.k(v)) / state.k_max()
+                 : 0.0f;
+    row[2] = state.d_max() > 0
+                 ? static_cast<float>(state.d(v)) / state.d_max()
+                 : 0.0f;
+
+    double top_remote = 0.0;
+    const int64_t top_n = std::min<int64_t>(
+        std::max(1, state.k_max()), static_cast<int64_t>(seq.remote.size()));
+    for (int64_t i = 0; i < top_n; ++i) {
+      top_remote += seq.remote[static_cast<size_t>(i)].entropy;
+    }
+    row[3] = top_n > 0 ? static_cast<float>(top_remote /
+                                            (top_n * entropy_scale))
+                       : 0.0f;
+
+    double neigh = 0.0;
+    for (const auto& s : seq.neighbors) neigh += s.entropy;
+    row[4] = seq.neighbors.empty()
+                 ? 0.0f
+                 : static_cast<float>(
+                       neigh / (static_cast<double>(seq.neighbors.size()) *
+                                entropy_scale));
+
+    row[5] = state.k_max() > 0
+                 ? std::min(1.0f, static_cast<float>(seq.remote.size()) /
+                                      state.k_max())
+                 : 0.0f;
+    row[6] = static_cast<float>(current.Degree(v) / max_deg);
+    row[7] = static_cast<float>(reward_feature);
+  }
+  return obs;
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,39 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Observation encoding for the DRL policy: one row per node summarising its
+// local situation under the current state and rewired graph. All features
+// are normalised to roughly [0, 1] (reward feature to [-1, 1]).
+
+#ifndef GRAPHRARE_CORE_OBSERVATION_H_
+#define GRAPHRARE_CORE_OBSERVATION_H_
+
+#include "entropy/relative_entropy.h"
+#include "graph/graph.h"
+#include "core/topology_state.h"
+#include "tensor/tensor.h"
+
+namespace graphrare {
+namespace core {
+
+/// Number of per-node observation features.
+inline constexpr int64_t kObservationDim = 8;
+
+/// Builds the (N x kObservationDim) observation matrix:
+///   0: degree in G_0 / max degree in G_0
+///   1: k_v / k_max
+///   2: d_v / d_max
+///   3: mean entropy of the top-k_max remote candidates (scaled by 1+lambda)
+///   4: mean entropy of current 1-hop neighbours (scaled by 1+lambda)
+///   5: remote-candidate availability, |remote| / k_max capped at 1
+///   6: degree in G_t / max degree in G_0 (rewiring feedback)
+///   7: last global reward clipped to [-1, 1]
+tensor::Tensor BuildObservation(const graph::Graph& original,
+                                const graph::Graph& current,
+                                const TopologyState& state,
+                                const entropy::RelativeEntropyIndex& index,
+                                double last_reward);
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_OBSERVATION_H_

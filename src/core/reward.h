@@ -1,0 +1,50 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Reward function (paper Eq. 11):
+//   R(S_t) = (acc_t - acc_{t-1}) + lambda_r * (loss_{t-1} - loss_t)
+// plus the AUC-based alternative of the Table V "GCN-RARE-reward" ablation.
+
+#ifndef GRAPHRARE_CORE_REWARD_H_
+#define GRAPHRARE_CORE_REWARD_H_
+
+#include "common/status.h"
+
+namespace graphrare {
+namespace core {
+
+/// Which reward signal drives the DRL module.
+enum class RewardKind {
+  kAccLoss,  ///< Eq. 11 (default)
+  kAuc,      ///< one-vs-rest macro AUC difference (ablation)
+};
+
+struct RewardOptions {
+  RewardKind kind = RewardKind::kAccLoss;
+  /// lambda_r in Eq. 11.
+  double lambda_r = 1.0;
+};
+
+/// Metrics of one evaluation step used for reward computation.
+struct RewardInputs {
+  double accuracy = 0.0;
+  double loss = 0.0;
+  double auc = 0.0;  ///< only populated for RewardKind::kAuc
+};
+
+inline double ComputeReward(const RewardOptions& options,
+                            const RewardInputs& prev,
+                            const RewardInputs& curr) {
+  switch (options.kind) {
+    case RewardKind::kAccLoss:
+      return (curr.accuracy - prev.accuracy) +
+             options.lambda_r * (prev.loss - curr.loss);
+    case RewardKind::kAuc:
+      return curr.auc - prev.auc;
+  }
+  return 0.0;
+}
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_REWARD_H_

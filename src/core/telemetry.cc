@@ -1,0 +1,45 @@
+#include "core/telemetry.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace core {
+
+std::string TelemetryCsvString(const GraphRareResult& result) {
+  std::ostringstream out;
+  out << "iteration,train_accuracy,val_accuracy,homophily,reward\n";
+  const size_t n = result.train_acc_history.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double val = i < result.val_acc_history.size()
+                           ? result.val_acc_history[i]
+                           : 0.0;
+    const double hom = i < result.homophily_history.size()
+                           ? result.homophily_history[i]
+                           : 0.0;
+    const double rew =
+        i < result.reward_history.size() ? result.reward_history[i] : 0.0;
+    out << i << "," << result.train_acc_history[i] << "," << val << ","
+        << hom << "," << rew << "\n";
+  }
+  return out.str();
+}
+
+Status WriteTelemetryCsv(const GraphRareResult& result,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out << TelemetryCsvString(result);
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,28 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// CSV export of GraphRareResult telemetry (the Fig. 6 curves), for plotting
+// with external tools.
+
+#ifndef GRAPHRARE_CORE_TELEMETRY_H_
+#define GRAPHRARE_CORE_TELEMETRY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/trainer.h"
+
+namespace graphrare {
+namespace core {
+
+/// Writes one row per co-training iteration:
+/// iteration,train_accuracy,val_accuracy,homophily,reward
+Status WriteTelemetryCsv(const GraphRareResult& result,
+                         const std::string& path);
+
+/// Formats the same content into a string (unit tests, stdout piping).
+std::string TelemetryCsvString(const GraphRareResult& result);
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_TELEMETRY_H_

@@ -1,0 +1,78 @@
+#include "core/topology_env.h"
+
+#include "nn/metrics.h"
+#include "core/observation.h"
+
+namespace graphrare {
+namespace core {
+
+TopologyEnv::TopologyEnv(const data::Dataset* dataset,
+                         const data::Split* split,
+                         nn::ClassifierTrainer* trainer,
+                         const entropy::RelativeEntropyIndex* index,
+                         const TopologyEnvOptions& options)
+    : dataset_(dataset),
+      split_(split),
+      trainer_(trainer),
+      index_(index),
+      options_(options),
+      current_(dataset->graph) {
+  GR_CHECK(dataset != nullptr && split != nullptr && trainer != nullptr &&
+           index != nullptr);
+  GR_CHECK_EQ(index->num_nodes(), dataset->num_nodes());
+}
+
+int64_t TopologyEnv::obs_dim() const { return kObservationDim; }
+
+RewardInputs TopologyEnv::Evaluate() {
+  RewardInputs out;
+  const nn::EvalResult eval = trainer_->Evaluate(current_, split_->train);
+  out.accuracy = eval.accuracy;
+  out.loss = eval.loss;
+  if (options_.reward.kind == RewardKind::kAuc) {
+    out.auc = nn::MacroAucOvr(trainer_->EvalLogits(current_),
+                              dataset_->labels, split_->train,
+                              dataset_->num_classes);
+  }
+  return out;
+}
+
+tensor::Tensor TopologyEnv::Reset() {
+  state_ = std::make_unique<TopologyState>(dataset_->num_nodes(),
+                                           options_.k_max, options_.d_max);
+  current_ = dataset_->graph;
+  last_reward_ = 0.0;
+  prev_ = Evaluate();
+  return BuildObservation(dataset_->graph, current_, *state_, *index_,
+                          last_reward_);
+}
+
+double TopologyEnv::Step(const rl::ActionSample& action,
+                         tensor::Tensor* next_obs) {
+  GR_CHECK(state_ != nullptr) << "Step() before Reset()";
+  GR_CHECK(next_obs != nullptr);
+
+  // S_{t+1} = S_t + A_t, then rebuild G_{t+1} from G_0 (Fig. 4).
+  state_->Apply(action);
+  current_ = BuildOptimizedGraph(dataset_->graph, *state_, *index_);
+
+  // Train the GNN on the rewired graph, then measure the reward (Eq. 11).
+  for (int e = 0; e < options_.gnn_epochs_per_step; ++e) {
+    trainer_->TrainEpoch(current_, split_->train);
+  }
+  const RewardInputs curr = Evaluate();
+  const double reward = ComputeReward(options_.reward, prev_, curr);
+  prev_ = curr;
+  last_reward_ = reward;
+
+  *next_obs = BuildObservation(dataset_->graph, current_, *state_, *index_,
+                               last_reward_);
+  return reward;
+}
+
+double TopologyEnv::ValidationAccuracy() {
+  return trainer_->Evaluate(current_, split_->val).accuracy;
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,81 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// The topology-optimization MDP (paper Fig. 3) packaged as an rl::Env, so
+// the PPO agent (or any other algorithm honouring the Env interface) can be
+// driven by the generic rl::RunAgentOnEnv loop. GraphRareTrainer inlines
+// this logic for fine-grained control (Algorithm 1's conditional
+// finetuning); the Env form trades that for composability and is used by
+// tests and the CLI's `env` mode.
+
+#ifndef GRAPHRARE_CORE_TOPOLOGY_ENV_H_
+#define GRAPHRARE_CORE_TOPOLOGY_ENV_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "entropy/relative_entropy.h"
+#include "nn/trainer.h"
+#include "rl/env.h"
+#include "core/reward.h"
+#include "core/topology_optimizer.h"
+
+namespace graphrare {
+namespace core {
+
+/// Environment options.
+struct TopologyEnvOptions {
+  int k_max = 5;
+  int d_max = 5;
+  /// Supervised epochs run on the rewired graph every step (the Env form
+  /// always trains; the paper's conditional variant lives in the trainer).
+  int gnn_epochs_per_step = 2;
+  RewardOptions reward;
+  entropy::EntropyOptions entropy;
+  uint64_t seed = 1;
+};
+
+/// One episode = one topology-optimization trajectory from G_0.
+/// Observations are the per-node features of core/observation.h; actions
+/// are per-node {-1,0,+1} deltas on (k, d); the reward is Eq. 11 computed
+/// on the training subset.
+class TopologyEnv : public rl::Env {
+ public:
+  /// `dataset`, `split`, and `trainer` must outlive the env. The trainer's
+  /// model is trained in place as the episode progresses.
+  TopologyEnv(const data::Dataset* dataset, const data::Split* split,
+              nn::ClassifierTrainer* trainer,
+              const entropy::RelativeEntropyIndex* index,
+              const TopologyEnvOptions& options);
+
+  tensor::Tensor Reset() override;
+  double Step(const rl::ActionSample& action,
+              tensor::Tensor* next_obs) override;
+
+  int64_t obs_dim() const override;
+  int64_t num_components() const override { return dataset_->num_nodes(); }
+
+  /// Current (rewired) graph of the episode.
+  const graph::Graph& current_graph() const { return current_; }
+  /// Validation accuracy of the current model/graph (model selection).
+  double ValidationAccuracy();
+
+ private:
+  RewardInputs Evaluate();
+
+  const data::Dataset* dataset_;
+  const data::Split* split_;
+  nn::ClassifierTrainer* trainer_;
+  const entropy::RelativeEntropyIndex* index_;
+  TopologyEnvOptions options_;
+
+  std::unique_ptr<TopologyState> state_;
+  graph::Graph current_;
+  RewardInputs prev_;
+  double last_reward_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_TOPOLOGY_ENV_H_

@@ -1,0 +1,34 @@
+#include "core/topology_optimizer.h"
+
+namespace graphrare {
+namespace core {
+
+graph::Graph BuildOptimizedGraph(const graph::Graph& original,
+                                 const TopologyState& state,
+                                 const entropy::RelativeEntropyIndex& index,
+                                 const TopologyOptimizerOptions& options) {
+  GR_CHECK_EQ(original.num_nodes(), state.num_nodes());
+  GR_CHECK_EQ(original.num_nodes(), index.num_nodes());
+  graph::GraphEditor editor(&original);
+  for (int64_t v = 0; v < original.num_nodes(); ++v) {
+    const entropy::NodeSequences& seq = index.sequences(v);
+    if (options.enable_add) {
+      const int64_t k = std::min<int64_t>(state.k(v),
+                                          static_cast<int64_t>(seq.remote.size()));
+      for (int64_t i = 0; i < k; ++i) {
+        editor.AddEdge(v, seq.remote[static_cast<size_t>(i)].node);
+      }
+    }
+    if (options.enable_remove) {
+      const int64_t d = std::min<int64_t>(
+          state.d(v), static_cast<int64_t>(seq.neighbors.size()));
+      for (int64_t i = 0; i < d; ++i) {
+        editor.RemoveEdge(v, seq.neighbors[static_cast<size_t>(i)].node);
+      }
+    }
+  }
+  return editor.Build();
+}
+
+}  // namespace core
+}  // namespace graphrare

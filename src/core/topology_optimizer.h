@@ -1,0 +1,34 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Graph topology optimization module (paper Fig. 4): rebuilds G_{t+1} from
+// the *original* graph G_0 and the absolute state S_{t+1} — for each node v,
+// connect the top-k_v entries of its remote entropy sequence and drop the
+// first d_v entries of its (ascending) neighbour sequence.
+
+#ifndef GRAPHRARE_CORE_TOPOLOGY_OPTIMIZER_H_
+#define GRAPHRARE_CORE_TOPOLOGY_OPTIMIZER_H_
+
+#include "entropy/relative_entropy.h"
+#include "graph/graph_editor.h"
+#include "core/topology_state.h"
+
+namespace graphrare {
+namespace core {
+
+/// Options controlling which edit channels are active (Table V ablations
+/// GCN-RARE-add / GCN-RARE-remove).
+struct TopologyOptimizerOptions {
+  bool enable_add = true;
+  bool enable_remove = true;
+};
+
+/// Materialises the optimized graph for a state. Deterministic.
+graph::Graph BuildOptimizedGraph(const graph::Graph& original,
+                                 const TopologyState& state,
+                                 const entropy::RelativeEntropyIndex& index,
+                                 const TopologyOptimizerOptions& options = {});
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_TOPOLOGY_OPTIMIZER_H_

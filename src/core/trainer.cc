@@ -1,0 +1,228 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/metrics.h"
+#include "core/observation.h"
+
+namespace graphrare {
+namespace core {
+
+Status GraphRareOptions::Validate() const {
+  if (hidden < 1) return Status::InvalidArgument("hidden must be >= 1");
+  if (num_layers < 1) {
+    return Status::InvalidArgument("num_layers must be >= 1");
+  }
+  if (dropout < 0.0f || dropout >= 1.0f) {
+    return Status::InvalidArgument("dropout must be in [0, 1)");
+  }
+  if (iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  if (pretrain_epochs < 0 || finetune_epochs < 0) {
+    return Status::InvalidArgument("epoch counts must be non-negative");
+  }
+  if (k_max < 0 || d_max < 0) {
+    return Status::InvalidArgument("k_max/d_max must be non-negative");
+  }
+  if (k_max == 0 && d_max == 0) {
+    return Status::InvalidArgument("k_max and d_max cannot both be zero");
+  }
+  if (fixed_k < 0 || fixed_d < 0 || random_k_max < 0 || random_d_max < 0) {
+    return Status::InvalidArgument("fixed/random bounds must be >= 0");
+  }
+  GR_RETURN_IF_ERROR(entropy.Validate());
+  GR_RETURN_IF_ERROR(ppo.Validate());
+  return Status::OK();
+}
+
+GraphRareTrainer::GraphRareTrainer(const data::Dataset* dataset,
+                                   GraphRareOptions options)
+    : dataset_(dataset), options_(std::move(options)) {
+  GR_CHECK(dataset != nullptr);
+  GR_CHECK_OK(options_.Validate());
+}
+
+RewardInputs GraphRareTrainer::EvaluateForReward(
+    nn::ClassifierTrainer* trainer, const graph::Graph& g,
+    const std::vector<int64_t>& train_idx) {
+  RewardInputs out;
+  const nn::EvalResult eval = trainer->Evaluate(g, train_idx);
+  out.accuracy = eval.accuracy;
+  out.loss = eval.loss;
+  if (options_.reward.kind == RewardKind::kAuc) {
+    const tensor::Tensor logits = trainer->EvalLogits(g);
+    out.auc = nn::MacroAucOvr(logits, dataset_->labels, train_idx,
+                              dataset_->num_classes);
+  }
+  return out;
+}
+
+GraphRareResult GraphRareTrainer::Run(const data::Split& split) {
+  const graph::Graph& g0 = dataset_->graph;
+  const int64_t n = g0.num_nodes();
+  Rng run_rng(options_.seed * 0x51D4ULL + 3);
+
+  GraphRareResult result;
+  result.initial_homophily = g0.EdgeHomophily(dataset_->labels);
+  result.initial_edges = g0.num_edges();
+
+  // --- Node relative entropy, computed once (Algorithm 1, lines 1-6). ---
+  Stopwatch entropy_watch;
+  entropy::EntropyOptions entropy_opts = options_.entropy;
+  entropy_opts.seed = options_.seed * 977 + 11;
+  auto index_result =
+      entropy::RelativeEntropyIndex::Build(g0, dataset_->features,
+                                           entropy_opts);
+  GR_CHECK(index_result.ok()) << index_result.status().ToString();
+  index_ = std::make_unique<entropy::RelativeEntropyIndex>(
+      std::move(index_result).value());
+  if (options_.sequence_mode == SequenceMode::kShuffled) {
+    index_->ShuffleSequences(&run_rng);
+  }
+  result.entropy_build_seconds = entropy_watch.ElapsedSeconds();
+
+  // --- Backbone + supervised trainer. ---
+  Stopwatch train_watch;
+  nn::ModelOptions model_opts;
+  model_opts.in_features = dataset_->num_features();
+  model_opts.hidden = options_.hidden;
+  model_opts.num_classes = dataset_->num_classes;
+  model_opts.num_layers = options_.num_layers;
+  model_opts.dropout = options_.dropout;
+  model_opts.gat_heads = options_.gat_heads;
+  model_opts.seed = options_.seed;
+  auto model = nn::MakeModel(options_.backbone, model_opts);
+
+  nn::ClassifierTrainer::Options trainer_opts;
+  trainer_opts.adam = options_.adam;
+  trainer_opts.seed = options_.seed;
+  nn::ClassifierTrainer trainer(
+      model.get(), nn::LayerInput::Sparse(dataset_->FeaturesCsr()),
+      &dataset_->labels, trainer_opts);
+
+  // Pretrain on G_0 so accuracy/loss deltas are informative rewards.
+  if (options_.pretrain_epochs > 0) {
+    trainer.Fit(g0, split.train, split.val, options_.pretrain_epochs,
+                options_.pretrain_patience);
+  }
+
+  // --- Co-training state. ---
+  TopologyState state(n, options_.k_max, options_.d_max);
+  graph::Graph current = g0;
+  std::unique_ptr<rl::PpoAgent> agent;
+  if (options_.policy_mode == PolicyMode::kDrl) {
+    rl::PpoOptions ppo_opts = options_.ppo;
+    ppo_opts.seed = options_.seed * 31 + 7;
+    agent = std::make_unique<rl::PpoAgent>(kObservationDim, ppo_opts);
+  }
+  TopologyOptimizerOptions topo_opts;
+  topo_opts.enable_add = options_.enable_add;
+  topo_opts.enable_remove = options_.enable_remove;
+
+  RewardInputs prev = EvaluateForReward(&trainer, current, split.train);
+  // Algorithm 1 initialises max_acc = 0, so the first iteration always
+  // fine-tunes regardless of pretraining.
+  double max_train_acc = 0.0;
+  double last_reward = 0.0;
+  bool reward_pending = false;  // PPO: Act() issued, reward not yet stored
+
+  std::vector<tensor::Tensor> best_weights = trainer.SaveWeights();
+  result.best_graph = current;
+  result.best_val_accuracy =
+      trainer.Evaluate(current, split.val).accuracy;
+  double best_val = result.best_val_accuracy;
+
+  for (int t = 0; t < options_.iterations; ++t) {
+    // (line 9) Evaluate the GNN on the current graph, no parameter update.
+    RewardInputs curr = EvaluateForReward(&trainer, current, split.train);
+
+    // (lines 10-13) Extra supervised epochs when the topology helped. The
+    // gate is >= rather than >: once training accuracy saturates (common on
+    // the small WebKB graphs) a strict inequality would freeze the GNN
+    // forever and the co-training could never adapt to rewired graphs.
+    if (curr.accuracy >= max_train_acc && options_.finetune_epochs > 0) {
+      max_train_acc = curr.accuracy;
+      int since_best = 0;
+      double ft_best_val = -1.0;
+      for (int e = 0; e < options_.finetune_epochs; ++e) {
+        trainer.TrainEpoch(current, split.train);
+        const double val_acc =
+            trainer.Evaluate(current, split.val).accuracy;
+        if (val_acc > ft_best_val) {
+          ft_best_val = val_acc;
+          since_best = 0;
+        } else if (++since_best >= 3) {
+          break;  // early stop: avoid overfitting to G_t (Sec. IV-B)
+        }
+      }
+    }
+
+    // (line 14) Reward from the performance delta (Eq. 11).
+    const double reward = ComputeReward(options_.reward, prev, curr);
+    prev = curr;
+    last_reward = reward;
+    result.reward_history.push_back(reward);
+    result.train_acc_history.push_back(curr.accuracy);
+    result.homophily_history.push_back(
+        current.EdgeHomophily(dataset_->labels));
+
+    // Model selection on validation accuracy (Sec. V-C protocol).
+    const double val_acc = trainer.Evaluate(current, split.val).accuracy;
+    result.val_acc_history.push_back(val_acc);
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      best_weights = trainer.SaveWeights();
+      result.best_graph = current;
+    }
+
+    // (lines 15-16) Action and state transition.
+    const tensor::Tensor obs =
+        BuildObservation(g0, current, state, *index_, last_reward);
+    switch (options_.policy_mode) {
+      case PolicyMode::kDrl: {
+        if (reward_pending) {
+          agent->StoreReward(reward);
+          if (agent->ReadyToUpdate()) agent->Update(obs);
+        }
+        const rl::ActionSample action = agent->Act(obs);
+        reward_pending = true;
+        state.Apply(action);
+        break;
+      }
+      case PolicyMode::kFixed:
+        state.SetUniform(options_.fixed_k, options_.fixed_d);
+        break;
+      case PolicyMode::kRandom:
+        state.SetRandom(options_.random_k_max, options_.random_d_max,
+                        &run_rng);
+        break;
+    }
+
+    // (line 17) Rebuild the topology for the next iteration.
+    current = BuildOptimizedGraph(g0, state, *index_, topo_opts);
+  }
+
+  // Close out the last pending PPO transition.
+  if (agent && reward_pending) {
+    const RewardInputs final_eval =
+        EvaluateForReward(&trainer, current, split.train);
+    agent->StoreReward(ComputeReward(options_.reward, prev, final_eval));
+  }
+
+  // --- Final selection and test metric. ---
+  trainer.LoadWeights(best_weights);
+  result.best_val_accuracy = best_val;
+  result.test_accuracy =
+      trainer.Evaluate(result.best_graph, split.test).accuracy;
+  result.final_homophily =
+      result.best_graph.EdgeHomophily(dataset_->labels);
+  result.final_edges = result.best_graph.num_edges();
+  result.train_seconds = train_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,126 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// The GraphRARE co-training loop (paper Algorithm 1): a backbone GNN and a
+// PPO agent are trained jointly; the agent's per-node (k, d) state drives
+// the topology optimization module, and the GNN's train-set accuracy/loss
+// deltas are the agent's reward. Ablation switches reproduce every Table V
+// row and the Fig. 5 fixed-(k,d) grids.
+
+#ifndef GRAPHRARE_CORE_TRAINER_H_
+#define GRAPHRARE_CORE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/splits.h"
+#include "entropy/relative_entropy.h"
+#include "nn/trainer.h"
+#include "rl/ppo.h"
+#include "core/reward.h"
+#include "core/topology_optimizer.h"
+
+namespace graphrare {
+namespace core {
+
+/// How per-node (k, d) values are chosen each iteration.
+enum class PolicyMode {
+  kDrl,     ///< PPO agent (GraphRARE proper)
+  kFixed,   ///< same fixed (k, d) for every node (Fig. 5 grids)
+  kRandom,  ///< per-node uniform random (Table V GCN-RE[0..x])
+};
+
+/// Whether entropy sequences are real or shuffled (Table V GCN-RA).
+enum class SequenceMode {
+  kEntropy,
+  kShuffled,
+};
+
+/// Full configuration of one GraphRARE run.
+struct GraphRareOptions {
+  nn::BackboneKind backbone = nn::BackboneKind::kGcn;
+  // Backbone hyper-parameters (paper Sec. V-C).
+  int64_t hidden = 64;
+  int num_layers = 2;
+  float dropout = 0.5f;
+  int gat_heads = 4;
+  nn::Adam::Options adam;
+
+  entropy::EntropyOptions entropy;
+  rl::PpoOptions ppo;
+  RewardOptions reward;
+
+  /// Number of co-training iterations (DRL steps).
+  int iterations = 24;
+  /// Initial supervised epochs on G_0 before co-training.
+  int pretrain_epochs = 50;
+  int pretrain_patience = 15;
+  /// "Train the GNN for a few more epochs" when accuracy improves.
+  int finetune_epochs = 5;
+
+  int k_max = 5;
+  int d_max = 5;
+
+  PolicyMode policy_mode = PolicyMode::kDrl;
+  int fixed_k = 3;        ///< PolicyMode::kFixed
+  int fixed_d = 2;
+  int random_k_max = 5;   ///< PolicyMode::kRandom upper bounds
+  int random_d_max = 5;
+
+  SequenceMode sequence_mode = SequenceMode::kEntropy;
+  bool enable_add = true;      ///< Table V GCN-RARE-remove sets this false
+  bool enable_remove = true;   ///< Table V GCN-RARE-add sets this false
+
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Everything a run reports (feeds Tables III-VI and Figs. 5-7).
+struct GraphRareResult {
+  double test_accuracy = 0.0;
+  double best_val_accuracy = 0.0;
+  double initial_homophily = 0.0;
+  double final_homophily = 0.0;  ///< homophily of the best (selected) graph
+  int64_t initial_edges = 0;
+  int64_t final_edges = 0;
+  double entropy_build_seconds = 0.0;
+  double train_seconds = 0.0;
+
+  // Per-iteration telemetry (Fig. 6).
+  std::vector<double> train_acc_history;
+  std::vector<double> val_acc_history;
+  std::vector<double> homophily_history;
+  std::vector<double> reward_history;
+
+  graph::Graph best_graph;
+};
+
+/// Runs Algorithm 1 on one dataset split.
+class GraphRareTrainer {
+ public:
+  /// `dataset` must outlive the trainer.
+  GraphRareTrainer(const data::Dataset* dataset, GraphRareOptions options);
+
+  GraphRareResult Run(const data::Split& split);
+
+  /// The entropy index built for the last Run (shared across ablations in
+  /// benches; exposed for inspection).
+  const entropy::RelativeEntropyIndex* index() const {
+    return index_ ? index_.get() : nullptr;
+  }
+
+ private:
+  RewardInputs EvaluateForReward(nn::ClassifierTrainer* trainer,
+                                 const graph::Graph& g,
+                                 const std::vector<int64_t>& train_idx);
+
+  const data::Dataset* dataset_;
+  GraphRareOptions options_;
+  std::unique_ptr<entropy::RelativeEntropyIndex> index_;
+};
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_TRAINER_H_

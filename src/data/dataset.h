@@ -1,0 +1,55 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Dataset container: topology + node features + labels, matching the
+// paper's G = (V, E, X, A) with class labels y_v.
+
+#ifndef GRAPHRARE_DATA_DATASET_H_
+#define GRAPHRARE_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace graphrare {
+namespace data {
+
+/// A node-classification dataset. The graph topology is the *original*
+/// topology G_0; rewired graphs produced during training reference the same
+/// features/labels.
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+  tensor::Tensor features;      ///< N x d (dense; binary bag-of-words)
+  std::vector<int64_t> labels;  ///< size N, values in [0, num_classes)
+  int64_t num_classes = 0;
+
+  int64_t num_nodes() const { return graph.num_nodes(); }
+  int64_t num_features() const { return features.cols(); }
+
+  /// Sparse view of the features (built lazily, cached). The generator's
+  /// bag-of-words features are ~95% zeros, so first-layer X*W products run
+  /// as SpMM.
+  std::shared_ptr<const tensor::CsrMatrix> FeaturesCsr() const;
+
+  /// Edge homophily ratio (Eq. 1) of the original topology.
+  double Homophily() const { return graph.EdgeHomophily(labels); }
+
+ private:
+  mutable std::shared_ptr<const tensor::CsrMatrix> features_csr_;
+};
+
+/// One train/validation/test partition of node indices.
+struct Split {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+}  // namespace data
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_DATA_DATASET_H_

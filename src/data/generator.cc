@@ -1,0 +1,266 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace data {
+
+namespace {
+
+/// Weighted sampling from a per-class node pool via cumulative sums.
+class ClassPool {
+ public:
+  ClassPool(const std::vector<int64_t>& labels,
+            const std::vector<double>& weights, int64_t num_classes) {
+    nodes_.resize(static_cast<size_t>(num_classes));
+    cumweights_.resize(static_cast<size_t>(num_classes));
+    for (size_t i = 0; i < labels.size(); ++i) {
+      nodes_[static_cast<size_t>(labels[i])].push_back(
+          static_cast<int64_t>(i));
+    }
+    for (int64_t c = 0; c < num_classes; ++c) {
+      auto& cw = cumweights_[static_cast<size_t>(c)];
+      cw.reserve(nodes_[static_cast<size_t>(c)].size());
+      double acc = 0.0;
+      for (int64_t v : nodes_[static_cast<size_t>(c)]) {
+        acc += weights[static_cast<size_t>(v)];
+        cw.push_back(acc);
+      }
+    }
+  }
+
+  /// Samples a node of class c proportionally to its weight.
+  int64_t Sample(int64_t c, Rng* rng) const {
+    const auto& cw = cumweights_[static_cast<size_t>(c)];
+    GR_CHECK(!cw.empty()) << "empty class " << c;
+    const double r = rng->Uniform() * cw.back();
+    const auto it = std::lower_bound(cw.begin(), cw.end(), r);
+    const size_t idx = std::min(static_cast<size_t>(it - cw.begin()),
+                                cw.size() - 1);
+    return nodes_[static_cast<size_t>(c)][idx];
+  }
+
+  int64_t ClassSize(int64_t c) const {
+    return static_cast<int64_t>(nodes_[static_cast<size_t>(c)].size());
+  }
+
+ private:
+  std::vector<std::vector<int64_t>> nodes_;
+  std::vector<std::vector<double>> cumweights_;
+};
+
+int64_t EdgeKey(int64_t u, int64_t v, int64_t n) {
+  return std::min(u, v) * n + std::max(u, v);
+}
+
+}  // namespace
+
+Status GeneratorOptions::Validate() const {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("num_nodes must be >= 2");
+  }
+  if (num_classes < 2 || num_classes > num_nodes) {
+    return Status::InvalidArgument("num_classes must be in [2, num_nodes]");
+  }
+  if (num_features < 1) {
+    return Status::InvalidArgument("num_features must be >= 1");
+  }
+  if (num_edges < 0) {
+    return Status::InvalidArgument("num_edges must be >= 0");
+  }
+  const int64_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  if (num_edges > max_edges) {
+    return Status::InvalidArgument(
+        StrFormat("num_edges %lld exceeds simple-graph maximum %lld",
+                  static_cast<long long>(num_edges),
+                  static_cast<long long>(max_edges)));
+  }
+  if (homophily < 0.0 || homophily > 1.0) {
+    return Status::InvalidArgument("homophily must be in [0, 1]");
+  }
+  if (partner_affinity < 0.0 || partner_affinity > 1.0) {
+    return Status::InvalidArgument("partner_affinity must be in [0, 1]");
+  }
+  if (degree_power < 0.0 || degree_power >= 1.0) {
+    return Status::InvalidArgument("degree_power must be in [0, 1)");
+  }
+  if (class_degree_skew < 0.0) {
+    return Status::InvalidArgument("class_degree_skew must be >= 0");
+  }
+  if (feature_density <= 0.0 || feature_density > 0.5) {
+    return Status::InvalidArgument("feature_density must be in (0, 0.5]");
+  }
+  if (feature_signal < 1.0) {
+    return Status::InvalidArgument("feature_signal must be >= 1");
+  }
+  if (feature_fidelity < 0.0 || feature_fidelity > 1.0) {
+    return Status::InvalidArgument("feature_fidelity must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<Dataset> GenerateDataset(const GeneratorOptions& options) {
+  GR_RETURN_IF_ERROR(options.Validate());
+  Rng rng(options.seed);
+
+  const int64_t n = options.num_nodes;
+  const int64_t c_count = options.num_classes;
+
+  // --- Labels: balanced, randomly assigned. ---
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % c_count;
+  }
+  rng.Shuffle(&labels);
+
+  // --- Degree propensities: w = u^{-p} gives a heavy tail for p > 0;
+  // class-correlated skew makes local structure label-informative. ---
+  std::vector<double> weights(static_cast<size_t>(n), 1.0);
+  if (options.degree_power > 0.0) {
+    for (auto& w : weights) {
+      double u = rng.Uniform();
+      while (u < 1e-9) u = rng.Uniform();
+      w = std::pow(u, -options.degree_power);
+    }
+  }
+  if (options.class_degree_skew > 0.0 && c_count > 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      weights[static_cast<size_t>(i)] *=
+          1.0 + options.class_degree_skew *
+                    static_cast<double>(labels[static_cast<size_t>(i)]) /
+                    static_cast<double>(c_count - 1);
+    }
+  }
+  ClassPool pool(labels, weights, c_count);
+
+  // --- Edges: plant the homophily ratio exactly (up to rounding). ---
+  const int64_t intra_target = static_cast<int64_t>(
+      std::llround(options.homophily * static_cast<double>(options.num_edges)));
+  const int64_t inter_target = options.num_edges - intra_target;
+
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(options.num_edges));
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(options.num_edges) * 2);
+
+  auto try_add = [&](int64_t u, int64_t v) {
+    if (u == v) return false;
+    const int64_t key = EdgeKey(u, v, n);
+    if (seen.count(key)) return false;
+    seen.insert(key);
+    edges.emplace_back(u, v);
+    return true;
+  };
+
+  // Intra-class edges.
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = options.num_edges * 200 + 10000;
+  while (added < intra_target && attempts < max_attempts) {
+    ++attempts;
+    const int64_t c = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(c_count)));
+    if (pool.ClassSize(c) < 2) continue;
+    const int64_t u = pool.Sample(c, &rng);
+    const int64_t v = pool.Sample(c, &rng);
+    if (try_add(u, v)) ++added;
+  }
+  const int64_t intra_added = added;
+
+  // Inter-class edges: with probability partner_affinity the second endpoint
+  // comes from the partner class pi(c) = C-1-c, otherwise a uniform
+  // different class. When pi(c) == c (odd C middle class), fall back to
+  // uniform different class.
+  added = 0;
+  attempts = 0;
+  while (added < inter_target && attempts < max_attempts) {
+    ++attempts;
+    const int64_t cu = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(c_count)));
+    int64_t cv;
+    const int64_t partner = c_count - 1 - cu;
+    if (partner != cu && rng.Bernoulli(options.partner_affinity)) {
+      cv = partner;
+    } else {
+      cv = static_cast<int64_t>(rng.UniformInt(
+          static_cast<uint64_t>(c_count - 1)));
+      if (cv >= cu) ++cv;
+    }
+    const int64_t u = pool.Sample(cu, &rng);
+    const int64_t v = pool.Sample(cv, &rng);
+    if (try_add(u, v)) ++added;
+  }
+
+  if (static_cast<int64_t>(edges.size()) < options.num_edges) {
+    GR_LOG(WARNING) << options.name << ": generated "
+                    << edges.size() << "/" << options.num_edges
+                    << " edges before attempt budget; graph is near-saturated";
+  }
+
+  GR_ASSIGN_OR_RETURN(graph::Graph g, graph::Graph::FromEdgeList(n, edges));
+  (void)intra_added;
+
+  // --- Features: class-conditional Bernoulli bag of words. Each class owns
+  // a contiguous topic block of d/C dimensions with boosted activation. ---
+  const int64_t d = options.num_features;
+  const double topic_frac = 1.0 / static_cast<double>(c_count);
+  // Solve p_in, p_out so that expected density matches and
+  // p_in = feature_signal * p_out:
+  //   density = topic_frac * p_in + (1 - topic_frac) * p_out
+  double p_out = options.feature_density /
+                 (topic_frac * options.feature_signal + (1.0 - topic_frac));
+  double p_in = options.feature_signal * p_out;
+  p_in = std::min(p_in, 0.9);
+
+  tensor::Tensor x(n, d);
+  const int64_t block = std::max<int64_t>(1, d / c_count);
+  for (int64_t i = 0; i < n; ++i) {
+    // Feature fidelity: a (1 - fidelity) fraction of nodes express a random
+    // class topic, capping feature-only accuracy (see GeneratorOptions).
+    const int64_t cls =
+        rng.Bernoulli(options.feature_fidelity)
+            ? labels[static_cast<size_t>(i)]
+            : static_cast<int64_t>(rng.UniformInt(
+                  static_cast<uint64_t>(c_count)));
+    const int64_t topic_begin = cls * block;
+    const int64_t topic_end =
+        (cls == c_count - 1) ? d : std::min(d, topic_begin + block);
+    float* row = x.row(i);
+    for (int64_t j = 0; j < d; ++j) {
+      const bool in_topic = j >= topic_begin && j < topic_end;
+      row[j] = rng.Bernoulli(in_topic ? p_in : p_out) ? 1.0f : 0.0f;
+    }
+  }
+
+  Dataset ds;
+  ds.name = options.name;
+  ds.graph = std::move(g);
+  ds.features = std::move(x);
+  ds.labels = std::move(labels);
+  ds.num_classes = c_count;
+  return ds;
+}
+
+std::shared_ptr<const tensor::CsrMatrix> Dataset::FeaturesCsr() const {
+  if (features_csr_) return features_csr_;
+  std::vector<tensor::CooEntry> entries;
+  for (int64_t i = 0; i < features.rows(); ++i) {
+    const float* row = features.row(i);
+    for (int64_t j = 0; j < features.cols(); ++j) {
+      if (row[j] != 0.0f) entries.push_back({i, j, row[j]});
+    }
+  }
+  features_csr_ = std::make_shared<tensor::CsrMatrix>(
+      tensor::CsrMatrix::FromCoo(features.rows(), features.cols(),
+                                 std::move(entries)));
+  return features_csr_;
+}
+
+}  // namespace data
+}  // namespace graphrare

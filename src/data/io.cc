@@ -1,0 +1,129 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace data {
+
+namespace {
+constexpr char kMagic[] = "# graphrare-dataset v1";
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  for (int64_t i = 0; i < dataset.features.numel(); ++i) {
+    const float v = dataset.features[i];
+    if (v != 0.0f && v != 1.0f) {
+      return Status::InvalidArgument(
+          "SaveDataset requires binary features (bag-of-words)");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out << kMagic << "\n";
+  out << "name " << dataset.name << "\n";
+  out << "nodes " << dataset.num_nodes() << " edges "
+      << dataset.graph.num_edges() << " features " << dataset.num_features()
+      << " classes " << dataset.num_classes << "\n";
+  out << "labels\n";
+  for (size_t i = 0; i < dataset.labels.size(); ++i) {
+    out << dataset.labels[i] << (i + 1 == dataset.labels.size() ? "\n" : " ");
+  }
+  out << "edges\n";
+  for (const auto& [u, v] : dataset.graph.edges()) {
+    out << u << " " << v << "\n";
+  }
+  out << "features\n";
+  for (int64_t i = 0; i < dataset.features.rows(); ++i) {
+    const float* row = dataset.features.row(i);
+    for (int64_t j = 0; j < dataset.features.cols(); ++j) {
+      if (row[j] != 0.0f) out << i << " " << j << "\n";
+    }
+  }
+  out << "end\n";
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': missing dataset header", path.c_str()));
+  }
+  std::string keyword, name;
+  if (!(in >> keyword >> name) || keyword != "name") {
+    return Status::InvalidArgument("malformed name line");
+  }
+  int64_t n = 0, e = 0, d = 0, c = 0;
+  std::string kn, ke, kd, kc;
+  if (!(in >> kn >> n >> ke >> e >> kd >> d >> kc >> c) || kn != "nodes" ||
+      ke != "edges" || kd != "features" || kc != "classes" || n < 0 ||
+      e < 0 || d < 1 || c < 1) {
+    return Status::InvalidArgument("malformed counts line");
+  }
+
+  if (!(in >> keyword) || keyword != "labels") {
+    return Status::InvalidArgument("expected labels section");
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (auto& y : labels) {
+    if (!(in >> y) || y < 0 || y >= c) {
+      return Status::InvalidArgument("malformed label");
+    }
+  }
+
+  if (!(in >> keyword) || keyword != "edges") {
+    return Status::InvalidArgument("expected edges section");
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(e));
+  for (int64_t i = 0; i < e; ++i) {
+    int64_t u, v;
+    if (!(in >> u >> v)) {
+      return Status::InvalidArgument("truncated edge list");
+    }
+    edges.emplace_back(u, v);
+  }
+
+  if (!(in >> keyword) || keyword != "features") {
+    return Status::InvalidArgument("expected features section");
+  }
+  tensor::Tensor x(n, d);
+  while (in >> keyword && keyword != "end") {
+    // keyword holds the node id; read the dimension.
+    int64_t i = -1, j = -1;
+    std::istringstream node_stream(keyword);
+    if (!(node_stream >> i) || !(in >> j) || i < 0 || i >= n || j < 0 ||
+        j >= d) {
+      return Status::InvalidArgument("malformed feature entry");
+    }
+    x.at(i, j) = 1.0f;
+  }
+  if (keyword != "end") {
+    return Status::InvalidArgument("missing end marker");
+  }
+
+  GR_ASSIGN_OR_RETURN(graph::Graph g, graph::Graph::FromEdgeList(n, edges));
+  Dataset ds;
+  ds.name = name;
+  ds.graph = std::move(g);
+  ds.features = std::move(x);
+  ds.labels = std::move(labels);
+  ds.num_classes = c;
+  return ds;
+}
+
+}  // namespace data
+}  // namespace graphrare

@@ -1,0 +1,205 @@
+#include "entropy/relative_entropy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace graphrare {
+namespace entropy {
+
+Status EntropyOptions::Validate() const {
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  if (max_two_hop_candidates < 0 || num_random_candidates < 0) {
+    return Status::InvalidArgument("candidate counts must be non-negative");
+  }
+  if (max_two_hop_candidates + num_random_candidates == 0) {
+    return Status::InvalidArgument(
+        "at least one candidate source must be enabled");
+  }
+  return Status::OK();
+}
+
+Result<RelativeEntropyIndex> RelativeEntropyIndex::Build(
+    const graph::Graph& g, const tensor::Tensor& features,
+    const EntropyOptions& options) {
+  GR_RETURN_IF_ERROR(options.Validate());
+  if (features.rows() != g.num_nodes()) {
+    return Status::InvalidArgument("features rows != num_nodes");
+  }
+  const int64_t n = g.num_nodes();
+  Rng rng(options.seed);
+
+  const tensor::Tensor z = EmbedFeatures(features, options.embedding);
+  StructuralEntropyCalculator structural(g);
+
+  // --- Candidate generation: per-node remote candidates + 1-hop pairs. ---
+  std::vector<NodePair> pairs;            // all (v, candidate) pairs
+  std::vector<int64_t> pair_owner_begin;  // per node: offset into `pairs`
+  std::vector<int64_t> remote_count;      // per node: #remote pairs
+  pair_owner_begin.reserve(static_cast<size_t>(n) + 1);
+  remote_count.reserve(static_cast<size_t>(n));
+
+  std::unordered_set<int64_t> taken;
+  for (int64_t v = 0; v < n; ++v) {
+    pair_owner_begin.push_back(static_cast<int64_t>(pairs.size()));
+    taken.clear();
+    taken.insert(v);
+    for (const int64_t* p = g.NeighborsBegin(v); p != g.NeighborsEnd(v); ++p) {
+      taken.insert(*p);
+    }
+
+    // 2-hop candidates (sampled down when large).
+    std::vector<int64_t> two_hop;
+    for (const int64_t* p = g.NeighborsBegin(v); p != g.NeighborsEnd(v); ++p) {
+      for (const int64_t* q = g.NeighborsBegin(*p); q != g.NeighborsEnd(*p);
+           ++q) {
+        if (!taken.count(*q)) {
+          taken.insert(*q);
+          two_hop.push_back(*q);
+        }
+      }
+    }
+    if (static_cast<int>(two_hop.size()) > options.max_two_hop_candidates) {
+      // Sample without replacement, deterministically.
+      std::vector<int64_t> picks = rng.SampleWithoutReplacement(
+          static_cast<int64_t>(two_hop.size()),
+          options.max_two_hop_candidates);
+      std::vector<int64_t> sampled;
+      sampled.reserve(picks.size());
+      for (int64_t i : picks) sampled.push_back(two_hop[static_cast<size_t>(i)]);
+      two_hop = std::move(sampled);
+    }
+
+    // Uniform remote candidates (anywhere in the graph).
+    std::vector<int64_t> random_remote;
+    int attempts = 0;
+    while (static_cast<int>(random_remote.size()) <
+               options.num_random_candidates &&
+           attempts < options.num_random_candidates * 20) {
+      ++attempts;
+      const int64_t c = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(n)));
+      if (!taken.count(c)) {
+        taken.insert(c);
+        random_remote.push_back(c);
+      }
+    }
+
+    int64_t remote = 0;
+    for (int64_t c : two_hop) {
+      pairs.emplace_back(v, c);
+      ++remote;
+    }
+    for (int64_t c : random_remote) {
+      pairs.emplace_back(v, c);
+      ++remote;
+    }
+    remote_count.push_back(remote);
+    // 1-hop pairs (for the deletion sequence).
+    for (const int64_t* p = g.NeighborsBegin(v); p != g.NeighborsEnd(v); ++p) {
+      pairs.emplace_back(v, *p);
+    }
+  }
+  pair_owner_begin.push_back(static_cast<int64_t>(pairs.size()));
+
+  // --- Feature entropy over the whole pair set, then min-max rescale. ---
+  std::vector<double> hf = FeatureEntropyForPairs(z, pairs);
+  if (!hf.empty()) {
+    const auto [mn_it, mx_it] = std::minmax_element(hf.begin(), hf.end());
+    const double mn = *mn_it, mx = *mx_it;
+    const double range = mx - mn;
+    for (double& h : hf) {
+      h = range > 0.0 ? (h - mn) / range : 0.5;
+    }
+  }
+
+  // --- Assemble sequences. ---
+  RelativeEntropyIndex index;
+  index.lambda_ = options.lambda;
+  index.sequences_.resize(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    NodeSequences& seq = index.sequences_[static_cast<size_t>(v)];
+    const int64_t begin = pair_owner_begin[static_cast<size_t>(v)];
+    const int64_t end = pair_owner_begin[static_cast<size_t>(v) + 1];
+    const int64_t n_remote = remote_count[static_cast<size_t>(v)];
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t u = pairs[static_cast<size_t>(i)].second;
+      const double h = hf[static_cast<size_t>(i)] +
+                       options.lambda * structural.Between(v, u);
+      if (i - begin < n_remote) {
+        seq.remote.push_back({u, h});
+      } else {
+        seq.neighbors.push_back({u, h});
+      }
+    }
+    std::sort(seq.remote.begin(), seq.remote.end(),
+              [](const ScoredNode& a, const ScoredNode& b) {
+                return a.entropy != b.entropy ? a.entropy > b.entropy
+                                              : a.node < b.node;
+              });
+    std::sort(seq.neighbors.begin(), seq.neighbors.end(),
+              [](const ScoredNode& a, const ScoredNode& b) {
+                return a.entropy != b.entropy ? a.entropy < b.entropy
+                                              : a.node < b.node;
+              });
+  }
+  return index;
+}
+
+int64_t RelativeEntropyIndex::MaxRemoteLength() const {
+  int64_t mx = 0;
+  for (const auto& s : sequences_) {
+    mx = std::max(mx, static_cast<int64_t>(s.remote.size()));
+  }
+  return mx;
+}
+
+void RelativeEntropyIndex::ShuffleSequences(Rng* rng) {
+  GR_CHECK(rng != nullptr);
+  for (auto& s : sequences_) {
+    rng->Shuffle(&s.remote);
+    rng->Shuffle(&s.neighbors);
+  }
+}
+
+tensor::Tensor DenseRelativeEntropyMatrix(const graph::Graph& g,
+                                          const tensor::Tensor& features,
+                                          const EntropyOptions& options) {
+  GR_CHECK_OK(options.Validate());
+  const int64_t n = g.num_nodes();
+  GR_CHECK_LE(n, 4096) << "dense entropy matrix limited to small graphs";
+  GR_CHECK_EQ(features.rows(), n);
+
+  const tensor::Tensor z = EmbedFeatures(features, options.embedding);
+  StructuralEntropyCalculator structural(g);
+
+  std::vector<NodePair> pairs;
+  pairs.reserve(static_cast<size_t>(n * (n - 1) / 2));
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t u = v + 1; u < n; ++u) pairs.emplace_back(v, u);
+  }
+  std::vector<double> hf = FeatureEntropyForPairs(z, pairs);
+  if (!hf.empty()) {
+    const auto [mn_it, mx_it] = std::minmax_element(hf.begin(), hf.end());
+    const double mn = *mn_it, range = *mx_it - mn;
+    for (double& h : hf) h = range > 0.0 ? (h - mn) / range : 0.5;
+  }
+
+  tensor::Tensor m(n, n);
+  size_t k = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t u = v + 1; u < n; ++u, ++k) {
+      const float h = static_cast<float>(
+          hf[k] + options.lambda * structural.Between(v, u));
+      m.at(v, u) = h;
+      m.at(u, v) = h;
+    }
+  }
+  return m;
+}
+
+}  // namespace entropy
+}  // namespace graphrare

@@ -1,0 +1,53 @@
+#include "graph/graph_editor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace graphrare {
+namespace graph {
+
+GraphEditor::GraphEditor(const Graph* base) : base_(base) {
+  GR_CHECK(base != nullptr);
+}
+
+bool GraphEditor::AddEdge(int64_t u, int64_t v) {
+  if (u == v) return false;
+  GR_CHECK(u >= 0 && u < base_->num_nodes()) << "AddEdge: bad endpoint " << u;
+  GR_CHECK(v >= 0 && v < base_->num_nodes()) << "AddEdge: bad endpoint " << v;
+  const Edge e = Canonical(u, v);
+  if (base_->HasEdge(u, v)) {
+    // Adding an existing edge cancels a queued removal (idempotent add).
+    removals_.erase(e);
+    return false;
+  }
+  return additions_.insert(e).second;
+}
+
+bool GraphEditor::RemoveEdge(int64_t u, int64_t v) {
+  if (u == v) return false;
+  GR_CHECK(u >= 0 && u < base_->num_nodes());
+  GR_CHECK(v >= 0 && v < base_->num_nodes());
+  const Edge e = Canonical(u, v);
+  if (!base_->HasEdge(u, v)) {
+    // Removing a not-yet-materialised addition simply unqueues it.
+    additions_.erase(e);
+    return false;
+  }
+  return removals_.insert(e).second;
+}
+
+Graph GraphEditor::Build() const {
+  std::vector<Edge> edges;
+  edges.reserve(base_->edges().size() + additions_.size());
+  for (const auto& e : base_->edges()) {
+    if (!removals_.count(e)) edges.push_back(e);
+  }
+  for (const auto& e : additions_) {
+    if (!removals_.count(e)) edges.push_back(e);
+  }
+  return Graph::FromEdgeListOrDie(base_->num_nodes(), edges);
+}
+
+}  // namespace graph
+}  // namespace graphrare

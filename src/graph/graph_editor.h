@@ -1,0 +1,56 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Batch edge editing: collects additions and removals against a base graph
+// and materialises a new Graph. This is the primitive the topology
+// optimisation module (Fig. 4 of the paper) uses every RL step.
+
+#ifndef GRAPHRARE_GRAPH_GRAPH_EDITOR_H_
+#define GRAPHRARE_GRAPH_GRAPH_EDITOR_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphrare {
+namespace graph {
+
+/// Accumulates edge edits relative to a base graph. Removals win over
+/// additions of the same edge within one batch (an edge both added and
+/// removed ends up absent). Edits are idempotent.
+class GraphEditor {
+ public:
+  explicit GraphEditor(const Graph* base);
+
+  /// Queues an undirected edge addition. No-ops on self loops and edges
+  /// already present in the base graph. Returns true if queued.
+  bool AddEdge(int64_t u, int64_t v);
+
+  /// Queues removal of an existing base edge. Returns true if queued.
+  bool RemoveEdge(int64_t u, int64_t v);
+
+  int64_t num_pending_additions() const {
+    return static_cast<int64_t>(additions_.size());
+  }
+  int64_t num_pending_removals() const {
+    return static_cast<int64_t>(removals_.size());
+  }
+
+  /// Materialises the edited graph.
+  Graph Build() const;
+
+ private:
+  static Edge Canonical(int64_t u, int64_t v) {
+    return u < v ? Edge{u, v} : Edge{v, u};
+  }
+
+  const Graph* base_;
+  std::set<Edge> additions_;
+  std::set<Edge> removals_;
+};
+
+}  // namespace graph
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_GRAPH_GRAPH_EDITOR_H_

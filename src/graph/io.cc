@@ -1,0 +1,61 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace graph {
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot open '%s' for writing",
+                                      path.c_str()));
+  }
+  out << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    out << u << " " << v << "\n";
+  }
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  int64_t num_nodes = -1, num_edges = -1;
+  if (!(in >> num_nodes >> num_edges) || num_nodes < 0 || num_edges < 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': malformed header", path.c_str()));
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t i = 0; i < num_edges; ++i) {
+    int64_t u, v;
+    if (!(in >> u >> v)) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': expected %lld edges, file ends after %lld", path.c_str(),
+          static_cast<long long>(num_edges), static_cast<long long>(i)));
+    }
+    edges.emplace_back(u, v);
+  }
+  GR_ASSIGN_OR_RETURN(Graph g, Graph::FromEdgeList(num_nodes, edges));
+  if (g.num_edges() != num_edges) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': %lld edges declared but %lld survived canonicalisation "
+        "(duplicates or self loops in file)",
+        path.c_str(), static_cast<long long>(num_edges),
+        static_cast<long long>(g.num_edges())));
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace graphrare

@@ -1,0 +1,61 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Fully connected layer, with a sparse-input fast path for the first layer
+// of models fed bag-of-words features.
+
+#ifndef GRAPHRARE_NN_LINEAR_H_
+#define GRAPHRARE_NN_LINEAR_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace graphrare {
+namespace nn {
+
+/// y = x W + b with Glorot-uniform W.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true)
+      : use_bias_(use_bias) {
+    weight_ = RegisterParameter(
+        "weight", tensor::Tensor::GlorotUniform(in_features, out_features, rng));
+    if (use_bias_) {
+      bias_ = RegisterParameter("bias",
+                                tensor::Tensor::Zeros(1, out_features));
+    }
+  }
+
+  tensor::Variable Forward(const tensor::Variable& x) const {
+    tensor::Variable y = tensor::ops::MatMul(x, weight_);
+    if (use_bias_) y = tensor::ops::AddBias(y, bias_);
+    return y;
+  }
+
+  /// Sparse-input forward: y = X_sparse W + b. Gradients flow into W only
+  /// (the data matrix is constant), which is exactly the first-layer case.
+  tensor::Variable ForwardSparse(
+      const std::shared_ptr<const tensor::CsrMatrix>& x) const {
+    tensor::Variable y = tensor::ops::SpMM(x, weight_);
+    if (use_bias_) y = tensor::ops::AddBias(y, bias_);
+    return y;
+  }
+
+  const tensor::Variable& weight() const { return weight_; }
+  const tensor::Variable& bias() const { return bias_; }
+  int64_t in_features() const { return weight_.value().rows(); }
+  int64_t out_features() const { return weight_.value().cols(); }
+
+ private:
+  tensor::Variable weight_;
+  tensor::Variable bias_;
+  bool use_bias_;
+};
+
+}  // namespace nn
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_NN_LINEAR_H_

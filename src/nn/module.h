@@ -1,0 +1,86 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Module base class: a named registry of trainable parameters (Variables).
+// Composite modules register their children's parameters transitively.
+
+#ifndef GRAPHRARE_NN_MODULE_H_
+#define GRAPHRARE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace graphrare {
+namespace nn {
+
+/// Base class for everything with trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, including those of registered children.
+  std::vector<tensor::Variable> Parameters() const {
+    std::vector<tensor::Variable> out;
+    CollectParameters(&out);
+    return out;
+  }
+
+  /// Named parameters (diagnostics, serialization).
+  std::vector<std::pair<std::string, tensor::Variable>> NamedParameters()
+      const {
+    std::vector<std::pair<std::string, tensor::Variable>> out;
+    CollectNamedParameters("", &out);
+    return out;
+  }
+
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.value().numel();
+    return n;
+  }
+
+ protected:
+  /// Registers a leaf parameter initialised with `init`; returns the handle.
+  tensor::Variable RegisterParameter(std::string name, tensor::Tensor init) {
+    tensor::Variable v(std::move(init), /*requires_grad=*/true);
+    params_.emplace_back(std::move(name), v);
+    return v;
+  }
+
+  /// Registers a child module (not owned).
+  void RegisterChild(std::string name, Module* child) {
+    children_.emplace_back(std::move(name), child);
+  }
+
+ private:
+  void CollectParameters(std::vector<tensor::Variable>* out) const {
+    for (const auto& [name, v] : params_) out->push_back(v);
+    for (const auto& [name, child] : children_) child->CollectParameters(out);
+  }
+
+  void CollectNamedParameters(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, tensor::Variable>>* out) const {
+    for (const auto& [name, v] : params_) {
+      out->emplace_back(prefix + name, v);
+    }
+    for (const auto& [name, child] : children_) {
+      child->CollectNamedParameters(prefix + name + ".", out);
+    }
+  }
+
+  std::vector<std::pair<std::string, tensor::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_NN_MODULE_H_

@@ -1,0 +1,122 @@
+#include "nn/trainer.h"
+
+#include "tensor/ops.h"
+
+namespace graphrare {
+namespace nn {
+
+namespace ops = tensor::ops;
+using tensor::Variable;
+
+ClassifierTrainer::ClassifierTrainer(NodeClassifier* model,
+                                     LayerInput features,
+                                     const std::vector<int64_t>* labels,
+                                     const Options& options)
+    : model_(model),
+      features_(std::move(features)),
+      labels_(labels),
+      dropout_rng_(options.seed ^ 0xA5A5A5A5ULL) {
+  GR_CHECK(model != nullptr);
+  GR_CHECK(labels != nullptr);
+  optimizer_ = std::make_unique<Adam>(model->Parameters(), options.adam);
+}
+
+namespace {
+
+std::vector<int64_t> SubsetLabels(const std::vector<int64_t>& labels,
+                                  const std::vector<int64_t>& index) {
+  std::vector<int64_t> out;
+  out.reserve(index.size());
+  for (int64_t i : index) out.push_back(labels[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+EvalResult ClassifierTrainer::TrainEpoch(
+    const graph::Graph& g, const std::vector<int64_t>& train_idx) {
+  GR_CHECK(!train_idx.empty());
+  ModelInputs inputs;
+  inputs.graph = &g;
+  inputs.features = features_;
+
+  model_->ZeroGrad();
+  Variable logits = model_->Logits(inputs, /*training=*/true, &dropout_rng_);
+  const std::vector<int64_t> y = SubsetLabels(*labels_, train_idx);
+  Variable loss = ops::CrossEntropy(logits, train_idx, y);
+  loss.Backward();
+  optimizer_->Step();
+
+  EvalResult result;
+  result.loss = loss.value().scalar();
+  result.accuracy = Accuracy(logits.value(), *labels_, train_idx);
+  return result;
+}
+
+EvalResult ClassifierTrainer::Evaluate(const graph::Graph& g,
+                                       const std::vector<int64_t>& idx) {
+  GR_CHECK(!idx.empty());
+  ModelInputs inputs;
+  inputs.graph = &g;
+  inputs.features = features_;
+  Variable logits = model_->Logits(inputs, /*training=*/false, nullptr);
+  const std::vector<int64_t> y = SubsetLabels(*labels_, idx);
+  Variable loss = ops::CrossEntropy(logits.Detach(), idx, y);
+  EvalResult result;
+  result.loss = loss.value().scalar();
+  result.accuracy = Accuracy(logits.value(), *labels_, idx);
+  return result;
+}
+
+tensor::Tensor ClassifierTrainer::EvalLogits(const graph::Graph& g) {
+  ModelInputs inputs;
+  inputs.graph = &g;
+  inputs.features = features_;
+  return model_->Logits(inputs, /*training=*/false, nullptr).value();
+}
+
+FitResult ClassifierTrainer::Fit(const graph::Graph& g,
+                                 const std::vector<int64_t>& train_idx,
+                                 const std::vector<int64_t>& val_idx,
+                                 int max_epochs, int patience) {
+  GR_CHECK_GT(max_epochs, 0);
+  GR_CHECK_GT(patience, 0);
+  FitResult result;
+  std::vector<tensor::Tensor> best_weights = SaveWeights();
+  int since_best = 0;
+  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    const EvalResult train = TrainEpoch(g, train_idx);
+    const EvalResult val = Evaluate(g, val_idx);
+    result.train_acc_history.push_back(train.accuracy);
+    result.val_acc_history.push_back(val.accuracy);
+    ++result.epochs_run;
+    if (val.accuracy > result.best_val_accuracy) {
+      result.best_val_accuracy = val.accuracy;
+      result.best_epoch = epoch;
+      best_weights = SaveWeights();
+      since_best = 0;
+    } else if (++since_best >= patience) {
+      break;
+    }
+  }
+  LoadWeights(best_weights);
+  return result;
+}
+
+std::vector<tensor::Tensor> ClassifierTrainer::SaveWeights() const {
+  std::vector<tensor::Tensor> weights;
+  for (const auto& p : model_->Parameters()) weights.push_back(p.value());
+  return weights;
+}
+
+void ClassifierTrainer::LoadWeights(const std::vector<tensor::Tensor>& weights) {
+  auto params = model_->Parameters();
+  GR_CHECK_EQ(params.size(), weights.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    GR_CHECK(params[i].value().SameShape(weights[i]));
+    *params[i].mutable_value() = weights[i];
+  }
+}
+
+}  // namespace nn
+}  // namespace graphrare

@@ -1,0 +1,86 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Supervised training driver for node classifiers. Exposes both a
+// full-fit-with-early-stopping entry point (baselines) and single-epoch /
+// evaluate-only steps (the GraphRARE co-training loop interleaves these
+// with RL updates).
+
+#ifndef GRAPHRARE_NN_TRAINER_H_
+#define GRAPHRARE_NN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/metrics.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+
+namespace graphrare {
+namespace nn {
+
+/// Loss/accuracy pair from one evaluation.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Outcome of a Fit() run.
+struct FitResult {
+  int epochs_run = 0;
+  double best_val_accuracy = 0.0;
+  int best_epoch = -1;
+  std::vector<double> train_acc_history;
+  std::vector<double> val_acc_history;
+};
+
+/// Trains/evaluates a NodeClassifier on (graph, features, labels).
+/// The graph is a per-call argument so the same trainer follows rewired
+/// topologies during co-training.
+class ClassifierTrainer {
+ public:
+  struct Options {
+    Adam::Options adam;
+    uint64_t seed = 1;  ///< dropout stream
+  };
+
+  /// `model` and `labels` must outlive the trainer.
+  ClassifierTrainer(NodeClassifier* model, LayerInput features,
+                    const std::vector<int64_t>* labels,
+                    const Options& options);
+
+  /// One optimization epoch (full-batch) on `train_idx`; returns post-update
+  /// training loss/accuracy computed from the same forward pass.
+  EvalResult TrainEpoch(const graph::Graph& g,
+                        const std::vector<int64_t>& train_idx);
+
+  /// Evaluation (no dropout, no gradients) on `idx`.
+  EvalResult Evaluate(const graph::Graph& g, const std::vector<int64_t>& idx);
+
+  /// Full logits in eval mode (for test metrics / AUC).
+  tensor::Tensor EvalLogits(const graph::Graph& g);
+
+  /// Trains with early stopping on validation accuracy; restores the best
+  /// weights before returning.
+  FitResult Fit(const graph::Graph& g, const std::vector<int64_t>& train_idx,
+                const std::vector<int64_t>& val_idx, int max_epochs,
+                int patience);
+
+  /// Deep-copies all parameter tensors (early-stopping snapshots).
+  std::vector<tensor::Tensor> SaveWeights() const;
+  void LoadWeights(const std::vector<tensor::Tensor>& weights);
+
+  NodeClassifier* model() { return model_; }
+  Adam* optimizer() { return optimizer_.get(); }
+
+ private:
+  NodeClassifier* model_;
+  LayerInput features_;
+  const std::vector<int64_t>* labels_;
+  std::unique_ptr<Adam> optimizer_;
+  Rng dropout_rng_;
+};
+
+}  // namespace nn
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_NN_TRAINER_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Generic environment interface for the multi-discrete topology MDP. The
+// GraphRARE co-training loop drives PpoAgent directly (Algorithm 1), but
+// the interface lets the agent be reused on other environments (tests use a
+// synthetic bandit-style env to validate learning).
+
+#ifndef GRAPHRARE_RL_ENV_H_
+#define GRAPHRARE_RL_ENV_H_
+
+#include "rl/ppo.h"
+#include "tensor/tensor.h"
+
+namespace graphrare {
+namespace rl {
+
+/// A multi-discrete environment: observations are one row per action
+/// component pair, actions are per-row {-1, 0, +1} deltas on two channels.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Resets to the initial state, returning the first observation.
+  virtual tensor::Tensor Reset() = 0;
+
+  /// Applies the action; returns the reward and writes the next observation.
+  virtual double Step(const ActionSample& action,
+                      tensor::Tensor* next_obs) = 0;
+
+  virtual int64_t obs_dim() const = 0;
+  virtual int64_t num_components() const = 0;
+};
+
+/// Runs `steps` agent-environment interactions with PPO updates whenever the
+/// rollout buffer fills. Returns the sequence of rewards (telemetry).
+std::vector<double> RunAgentOnEnv(PpoAgent* agent, Env* env, int steps);
+
+}  // namespace rl
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_RL_ENV_H_

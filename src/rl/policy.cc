@@ -1,0 +1,35 @@
+#include "rl/policy.h"
+
+#include "tensor/ops.h"
+
+namespace graphrare {
+namespace rl {
+
+namespace ops = tensor::ops;
+
+ActorCriticPolicy::ActorCriticPolicy(int64_t obs_dim, int64_t hidden,
+                                     Rng* rng) {
+  fc1_ = std::make_unique<nn::Linear>(obs_dim, hidden, rng);
+  fc2_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  k_head_ = std::make_unique<nn::Linear>(hidden, kNumActionChoices, rng);
+  d_head_ = std::make_unique<nn::Linear>(hidden, kNumActionChoices, rng);
+  value_head_ = std::make_unique<nn::Linear>(hidden, 1, rng);
+  RegisterChild("fc1", fc1_.get());
+  RegisterChild("fc2", fc2_.get());
+  RegisterChild("k_head", k_head_.get());
+  RegisterChild("d_head", d_head_.get());
+  RegisterChild("value_head", value_head_.get());
+}
+
+PolicyOutput ActorCriticPolicy::Forward(const tensor::Variable& obs) const {
+  tensor::Variable h = ops::Tanh(fc1_->Forward(obs));
+  h = ops::Tanh(fc2_->Forward(h));
+  PolicyOutput out;
+  out.k_logits = k_head_->Forward(h);
+  out.d_logits = d_head_->Forward(h);
+  out.value = ops::MeanAll(value_head_->Forward(h));
+  return out;
+}
+
+}  // namespace rl
+}  // namespace graphrare

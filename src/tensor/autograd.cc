@@ -1,0 +1,127 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+
+namespace graphrare {
+namespace tensor {
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<AutogradNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->is_leaf = true;
+}
+
+const Tensor& Variable::value() const {
+  GR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor* Variable::mutable_value() {
+  GR_CHECK(defined());
+  GR_CHECK(node_->is_leaf) << "mutable_value() is only valid on leaf nodes";
+  return &node_->value;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+const Tensor& Variable::grad() const {
+  GR_CHECK(defined());
+  return node_->grad;
+}
+
+bool Variable::has_grad() const {
+  return defined() && node_->grad.numel() == node_->value.numel() &&
+         node_->value.numel() > 0;
+}
+
+void Variable::ZeroGrad() {
+  GR_CHECK(defined());
+  if (node_->grad.numel() == node_->value.numel()) {
+    node_->grad.Fill(0.0f);
+  }
+}
+
+Variable Variable::Detach() const {
+  GR_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::FromNode(std::shared_ptr<AutogradNode> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+void Variable::Backward() const {
+  GR_CHECK(defined());
+  GR_CHECK(node_->value.is_scalar())
+      << "Backward() requires a scalar root, got " << node_->value.rows()
+      << "x" << node_->value.cols();
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<AutogradNode*> topo;
+  std::unordered_set<AutogradNode*> visited;
+  struct Frame {
+    AutogradNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      AutogradNode* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed the root gradient with 1.
+  node_->EnsureGrad();
+  node_->grad.Fill(1.0f);
+
+  // topo is post-order (children after parents are *not* guaranteed by
+  // post-order alone — reverse of post-order gives the correct order where
+  // every node is processed before its parents' gradients are needed).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    AutogradNode* n = *it;
+    if (n->backward && n->grad.numel() == n->value.numel()) {
+      n->backward(n);
+    }
+  }
+}
+
+Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
+                    std::function<void(AutogradNode*)> backward) {
+  auto node = std::make_shared<AutogradNode>();
+  node->value = std::move(value);
+  node->is_leaf = false;
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents.reserve(parents.size());
+    for (auto& p : parents) node->parents.push_back(p.node());
+    node->backward = std::move(backward);
+  }
+  return Variable::FromNode(std::move(node));
+}
+
+}  // namespace tensor
+}  // namespace graphrare

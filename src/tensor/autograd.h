@@ -1,0 +1,90 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Reverse-mode automatic differentiation over Tensor. A Variable is a handle
+// to a node in a dynamically built tape; Backward() on a scalar root
+// topologically sorts the reachable subgraph and accumulates gradients into
+// leaf nodes (parameters). Each forward pass builds a fresh graph; parameter
+// leaves persist across passes and their gradients accumulate until ZeroGrad.
+
+#ifndef GRAPHRARE_TENSOR_AUTOGRAD_H_
+#define GRAPHRARE_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace graphrare {
+namespace tensor {
+
+struct AutogradNode;
+
+/// Shared handle to an autograd tape node. Copying a Variable aliases the
+/// node (PyTorch semantics).
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Creates a leaf node holding `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// True when this handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access to the value (optimizer updates). Only valid on leaves.
+  Tensor* mutable_value();
+
+  bool requires_grad() const;
+  /// Gradient accumulated by the last Backward(). Zero-shaped until then.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  void ZeroGrad();
+
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  /// A new leaf sharing a copy of the value, cut off from the tape.
+  Variable Detach() const;
+
+  /// Runs backpropagation from this scalar (1x1) variable.
+  void Backward() const;
+
+  const std::shared_ptr<AutogradNode>& node() const { return node_; }
+
+  /// Internal: wraps an existing node.
+  static Variable FromNode(std::shared_ptr<AutogradNode> node);
+
+ private:
+  std::shared_ptr<AutogradNode> node_;
+};
+
+/// A node on the tape. `backward` reads this node's grad and accumulates
+/// into the parents' grads.
+struct AutogradNode {
+  Tensor value;
+  Tensor grad;  // empty until backward touches this node
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::vector<std::shared_ptr<AutogradNode>> parents;
+  std::function<void(AutogradNode*)> backward;
+
+  /// Lazily allocates the grad buffer (zeros, same shape as value).
+  Tensor* EnsureGrad() {
+    if (grad.numel() != value.numel()) {
+      grad = Tensor(value.rows(), value.cols());
+    }
+    return &grad;
+  }
+};
+
+/// Creates a non-leaf op node. requires_grad is inherited from parents; when
+/// no parent requires grad the parents/backward are dropped (tape pruning).
+Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
+                    std::function<void(AutogradNode*)> backward);
+
+}  // namespace tensor
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,52 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+
+namespace graphrare {
+namespace tensor {
+
+GradCheckResult CheckGradient(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable>* inputs, size_t check_index, float eps, float atol,
+    float rtol) {
+  GR_CHECK(inputs != nullptr);
+  GR_CHECK_LT(check_index, inputs->size());
+
+  // Analytic gradient.
+  for (auto& in : *inputs) in.ZeroGrad();
+  Variable loss = f(*inputs);
+  GR_CHECK(loss.value().is_scalar());
+  loss.Backward();
+  Variable& target = (*inputs)[check_index];
+  GR_CHECK(target.requires_grad());
+  Tensor analytic = target.has_grad()
+                        ? target.grad()
+                        : Tensor(target.rows(), target.cols());
+
+  GradCheckResult result;
+  Tensor* x = target.mutable_value();
+  for (int64_t i = 0; i < x->numel(); ++i) {
+    const float orig = (*x)[i];
+    (*x)[i] = orig + eps;
+    const float f_plus = f(*inputs).value().scalar();
+    (*x)[i] = orig - eps;
+    const float f_minus = f(*inputs).value().scalar();
+    (*x)[i] = orig;
+    const float numeric = (f_plus - f_minus) / (2.0f * eps);
+    const float abs_err = std::abs(analytic[i] - numeric);
+    const float rel_err =
+        abs_err / std::max(1e-8f, std::abs(numeric));
+    if (abs_err > result.max_abs_err) {
+      result.max_abs_err = abs_err;
+      result.worst_index = i;
+    }
+    result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    if (abs_err > atol + rtol * std::abs(numeric)) {
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace tensor
+}  // namespace graphrare

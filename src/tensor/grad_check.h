@@ -1,0 +1,38 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Numerical gradient checking for tests: compares backprop gradients against
+// central finite differences.
+
+#ifndef GRAPHRARE_TENSOR_GRAD_CHECK_H_
+#define GRAPHRARE_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace graphrare {
+namespace tensor {
+
+/// Result of a gradient check on a single input.
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_err = 0.0f;
+  float max_rel_err = 0.0f;
+  int64_t worst_index = -1;
+};
+
+/// Checks d f(inputs) / d inputs[check_index] against central differences.
+///
+/// `f` must build the graph from the given leaf variables and return a
+/// scalar Variable. All inputs must require grad. Uses double-sided
+/// differences with step `eps` and tolerance `atol + rtol * |numeric|`.
+GradCheckResult CheckGradient(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable>* inputs, size_t check_index, float eps = 1e-3f,
+    float atol = 1e-2f, float rtol = 5e-2f);
+
+}  // namespace tensor
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_TENSOR_GRAD_CHECK_H_

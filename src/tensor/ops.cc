@@ -1,0 +1,638 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace graphrare {
+namespace tensor {
+namespace ops {
+
+namespace {
+
+/// Adds `delta` into the parent's grad buffer if it participates in autograd.
+void Accumulate(const std::shared_ptr<AutogradNode>& parent,
+                const Tensor& delta) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  parent->grad.AddInPlace(delta);
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  GR_CHECK(a.value().SameShape(b.value()))
+      << "Add shape mismatch " << a.value().rows() << "x" << a.value().cols()
+      << " vs " << b.value().rows() << "x" << b.value().cols();
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  return MakeOpNode(std::move(out), {a, b}, [](AutogradNode* n) {
+    Accumulate(n->parents[0], n->grad);
+    Accumulate(n->parents[1], n->grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  GR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.AxpyInPlace(-1.0f, b.value());
+  return MakeOpNode(std::move(out), {a, b}, [](AutogradNode* n) {
+    Accumulate(n->parents[0], n->grad);
+    if (n->parents[1]->requires_grad) {
+      n->parents[1]->EnsureGrad();
+      n->parents[1]->grad.AxpyInPlace(-1.0f, n->grad);
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  GR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.MulInPlace(b.value());
+  return MakeOpNode(std::move(out), {a, b}, [](AutogradNode* n) {
+    if (n->parents[0]->requires_grad) {
+      Tensor d = n->grad;
+      d.MulInPlace(n->parents[1]->value);
+      Accumulate(n->parents[0], d);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor d = n->grad;
+      d.MulInPlace(n->parents[0]->value);
+      Accumulate(n->parents[1], d);
+    }
+  });
+}
+
+Variable AddBias(const Variable& a, const Variable& bias) {
+  GR_CHECK_EQ(bias.value().rows(), 1);
+  GR_CHECK_EQ(bias.value().cols(), a.value().cols());
+  Tensor out = a.value();
+  const float* pb = bias.value().data();
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float* pr = out.row(r);
+    for (int64_t c = 0; c < out.cols(); ++c) pr[c] += pb[c];
+  }
+  return MakeOpNode(std::move(out), {a, bias}, [](AutogradNode* n) {
+    Accumulate(n->parents[0], n->grad);
+    if (n->parents[1]->requires_grad) {
+      Accumulate(n->parents[1], ColSum(n->grad));
+    }
+  });
+}
+
+Variable Scale(const Variable& a, float c) {
+  Tensor out = a.value();
+  out.ScaleInPlace(c);
+  return MakeOpNode(std::move(out), {a}, [c](AutogradNode* n) {
+    if (n->parents[0]->requires_grad) {
+      n->parents[0]->EnsureGrad();
+      n->parents[0]->grad.AxpyInPlace(c, n->grad);
+    }
+  });
+}
+
+Variable AddScalar(const Variable& a, float c) {
+  Tensor out = a.value();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] += c;
+  return MakeOpNode(std::move(out), {a}, [](AutogradNode* n) {
+    Accumulate(n->parents[0], n->grad);
+  });
+}
+
+Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
+
+Variable Square(const Variable& a) { return Mul(a, a); }
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = tensor::MatMul(a.value(), b.value());
+  return MakeOpNode(std::move(out), {a, b}, [](AutogradNode* n) {
+    // dA = G * B^T ; dB = A^T * G
+    if (n->parents[0]->requires_grad) {
+      Accumulate(n->parents[0],
+                 tensor::MatMulTransB(n->grad, n->parents[1]->value));
+    }
+    if (n->parents[1]->requires_grad) {
+      Accumulate(n->parents[1],
+                 tensor::MatMulTransA(n->parents[0]->value, n->grad));
+    }
+  });
+}
+
+Variable SpMM(std::shared_ptr<const CsrMatrix> s, const Variable& x) {
+  GR_CHECK(s != nullptr);
+  Tensor out = s->SpMM(x.value());
+  return MakeOpNode(std::move(out), {x}, [s](AutogradNode* n) {
+    if (n->parents[0]->requires_grad) {
+      Accumulate(n->parents[0], s->Transposed()->SpMM(n->grad));
+    }
+  });
+}
+
+namespace {
+
+/// Shared implementation for elementwise unary ops. `dydx` receives (x, y)
+/// and returns the local derivative.
+template <typename FwdFn, typename GradFn>
+Variable UnaryElementwise(const Variable& a, FwdFn fwd, GradFn dydx) {
+  Tensor out = a.value();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] = fwd(p[i]);
+  Tensor saved_out = out;  // captured for gradient formulas that use y
+  return MakeOpNode(
+      std::move(out), {a},
+      [saved_out = std::move(saved_out), dydx](AutogradNode* n) {
+        if (!n->parents[0]->requires_grad) return;
+        const Tensor& x = n->parents[0]->value;
+        Tensor d = n->grad;
+        float* pd = d.data();
+        const float* px = x.data();
+        const float* py = saved_out.data();
+        for (int64_t i = 0; i < d.numel(); ++i) {
+          pd[i] *= dydx(px[i], py[i]);
+        }
+        Accumulate(n->parents[0], d);
+      });
+}
+
+}  // namespace
+
+Variable Relu(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable LeakyRelu(const Variable& a, float negative_slope) {
+  return UnaryElementwise(
+      a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Variable Elu(const Variable& a, float alpha) {
+  return UnaryElementwise(
+      a,
+      [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Variable Log(const Variable& a) {
+  return UnaryElementwise(
+      a,
+      [](float x) {
+        GR_DCHECK(x > 0.0f);
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  GR_CHECK(p >= 0.0f && p < 1.0f) << "dropout p must be in [0,1), got " << p;
+  if (!training || p == 0.0f) return a;
+  GR_CHECK(rng != nullptr);
+  const float keep = 1.0f - p;
+  Tensor mask(a.value().rows(), a.value().cols());
+  Tensor out = a.value();
+  float* pm = mask.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const bool kept = !rng->Bernoulli(p);
+    pm[i] = kept ? 1.0f / keep : 0.0f;
+    po[i] *= pm[i];
+  }
+  return MakeOpNode(std::move(out), {a},
+                    [mask = std::move(mask)](AutogradNode* n) {
+                      if (!n->parents[0]->requires_grad) return;
+                      Tensor d = n->grad;
+                      d.MulInPlace(mask);
+                      Accumulate(n->parents[0], d);
+                    });
+}
+
+Variable LogSoftmaxRows(const Variable& a) {
+  const Tensor& x = a.value();
+  Tensor out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* px = x.row(r);
+    float* po = out.row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t c = 0; c < x.cols(); ++c) mx = std::max(mx, px[c]);
+    double lse = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) lse += std::exp(px[c] - mx);
+    const float log_z = mx + static_cast<float>(std::log(lse));
+    for (int64_t c = 0; c < x.cols(); ++c) po[c] = px[c] - log_z;
+  }
+  Tensor saved = out;
+  return MakeOpNode(
+      std::move(out), {a}, [saved = std::move(saved)](AutogradNode* n) {
+        if (!n->parents[0]->requires_grad) return;
+        // dX = G - softmax(x) * rowsum(G)
+        Tensor d = n->grad;
+        for (int64_t r = 0; r < d.rows(); ++r) {
+          const float* pg = n->grad.row(r);
+          const float* plp = saved.row(r);
+          float* pd = d.row(r);
+          float gsum = 0.0f;
+          for (int64_t c = 0; c < d.cols(); ++c) gsum += pg[c];
+          for (int64_t c = 0; c < d.cols(); ++c) {
+            pd[c] = pg[c] - std::exp(plp[c]) * gsum;
+          }
+        }
+        Accumulate(n->parents[0], d);
+      });
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  const Tensor& x = a.value();
+  Tensor out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* px = x.row(r);
+    float* po = out.row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t c = 0; c < x.cols(); ++c) mx = std::max(mx, px[c]);
+    double z = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      po[c] = std::exp(px[c] - mx);
+      z += po[c];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t c = 0; c < x.cols(); ++c) po[c] *= inv;
+  }
+  Tensor saved = out;
+  return MakeOpNode(
+      std::move(out), {a}, [saved = std::move(saved)](AutogradNode* n) {
+        if (!n->parents[0]->requires_grad) return;
+        // dX = y .* (G - rowsum(G .* y))
+        Tensor d = n->grad;
+        for (int64_t r = 0; r < d.rows(); ++r) {
+          const float* pg = n->grad.row(r);
+          const float* py = saved.row(r);
+          float* pd = d.row(r);
+          float dot = 0.0f;
+          for (int64_t c = 0; c < d.cols(); ++c) dot += pg[c] * py[c];
+          for (int64_t c = 0; c < d.cols(); ++c) {
+            pd[c] = py[c] * (pg[c] - dot);
+          }
+        }
+        Accumulate(n->parents[0], d);
+      });
+}
+
+Variable NllLoss(const Variable& logp, const std::vector<int64_t>& labels) {
+  const Tensor& lp = logp.value();
+  GR_CHECK_EQ(lp.rows(), static_cast<int64_t>(labels.size()));
+  GR_CHECK_GT(lp.rows(), 0);
+  double loss = 0.0;
+  for (int64_t i = 0; i < lp.rows(); ++i) {
+    GR_CHECK(labels[static_cast<size_t>(i)] >= 0 &&
+             labels[static_cast<size_t>(i)] < lp.cols())
+        << "label out of range";
+    loss -= lp.at(i, labels[static_cast<size_t>(i)]);
+  }
+  loss /= static_cast<double>(lp.rows());
+  return MakeOpNode(Tensor::Scalar(static_cast<float>(loss)), {logp},
+                    [labels](AutogradNode* n) {
+                      if (!n->parents[0]->requires_grad) return;
+                      const float g = n->grad.scalar();
+                      const int64_t m = n->parents[0]->value.rows();
+                      n->parents[0]->EnsureGrad();
+                      Tensor& pg = n->parents[0]->grad;
+                      const float scale = g / static_cast<float>(m);
+                      for (int64_t i = 0; i < m; ++i) {
+                        pg.at(i, labels[static_cast<size_t>(i)]) -= scale;
+                      }
+                    });
+}
+
+Variable SumAll(const Variable& a) {
+  return MakeOpNode(Tensor::Scalar(a.value().Sum()), {a},
+                    [](AutogradNode* n) {
+                      if (!n->parents[0]->requires_grad) return;
+                      const float g = n->grad.scalar();
+                      n->parents[0]->EnsureGrad();
+                      Tensor& pg = n->parents[0]->grad;
+                      float* p = pg.data();
+                      for (int64_t i = 0; i < pg.numel(); ++i) p[i] += g;
+                    });
+}
+
+Variable MeanAll(const Variable& a) {
+  const int64_t n_elem = a.value().numel();
+  GR_CHECK_GT(n_elem, 0);
+  return MakeOpNode(Tensor::Scalar(a.value().Mean()), {a},
+                    [n_elem](AutogradNode* n) {
+                      if (!n->parents[0]->requires_grad) return;
+                      const float g =
+                          n->grad.scalar() / static_cast<float>(n_elem);
+                      n->parents[0]->EnsureGrad();
+                      Tensor& pg = n->parents[0]->grad;
+                      float* p = pg.data();
+                      for (int64_t i = 0; i < pg.numel(); ++i) p[i] += g;
+                    });
+}
+
+Variable RowSumCols(const Variable& a) {
+  Tensor out = RowSum(a.value());
+  return MakeOpNode(std::move(out), {a}, [](AutogradNode* n) {
+    if (!n->parents[0]->requires_grad) return;
+    n->parents[0]->EnsureGrad();
+    Tensor& pg = n->parents[0]->grad;
+    for (int64_t r = 0; r < pg.rows(); ++r) {
+      const float g = n->grad.at(r, 0);
+      float* p = pg.row(r);
+      for (int64_t c = 0; c < pg.cols(); ++c) p[c] += g;
+    }
+  });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  GR_CHECK(!parts.empty());
+  const int64_t rows = parts[0].value().rows();
+  int64_t total_cols = 0;
+  for (const auto& p : parts) {
+    GR_CHECK_EQ(p.value().rows(), rows);
+    total_cols += p.value().cols();
+  }
+  Tensor out(rows, total_cols);
+  std::vector<int64_t> offsets;
+  offsets.reserve(parts.size() + 1);
+  int64_t off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    const Tensor& v = p.value();
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(v.row(r), v.row(r) + v.cols(), out.row(r) + off);
+    }
+    off += v.cols();
+  }
+  offsets.push_back(off);
+  return MakeOpNode(std::move(out), parts,
+                    [offsets](AutogradNode* n) {
+                      for (size_t k = 0; k < n->parents.size(); ++k) {
+                        auto& parent = n->parents[k];
+                        if (!parent->requires_grad) continue;
+                        parent->EnsureGrad();
+                        Tensor& pg = parent->grad;
+                        const int64_t o = offsets[k];
+                        for (int64_t r = 0; r < pg.rows(); ++r) {
+                          const float* src = n->grad.row(r) + o;
+                          float* dst = pg.row(r);
+                          for (int64_t c = 0; c < pg.cols(); ++c) {
+                            dst[c] += src[c];
+                          }
+                        }
+                      }
+                    });
+}
+
+Variable GatherRows(const Variable& x, std::vector<int64_t> idx) {
+  const Tensor& v = x.value();
+  Tensor out(static_cast<int64_t>(idx.size()), v.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GR_CHECK(idx[i] >= 0 && idx[i] < v.rows()) << "gather index out of range";
+    std::copy(v.row(idx[i]), v.row(idx[i]) + v.cols(),
+              out.row(static_cast<int64_t>(i)));
+  }
+  return MakeOpNode(std::move(out), {x}, [idx = std::move(idx)](AutogradNode* n) {
+    if (!n->parents[0]->requires_grad) return;
+    n->parents[0]->EnsureGrad();
+    Tensor& pg = n->parents[0]->grad;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const float* src = n->grad.row(static_cast<int64_t>(i));
+      float* dst = pg.row(idx[i]);
+      for (int64_t c = 0; c < pg.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable ScatterAddRows(const Variable& x, std::vector<int64_t> idx,
+                        int64_t num_rows) {
+  const Tensor& v = x.value();
+  GR_CHECK_EQ(v.rows(), static_cast<int64_t>(idx.size()));
+  Tensor out(num_rows, v.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GR_CHECK(idx[i] >= 0 && idx[i] < num_rows) << "scatter index out of range";
+    const float* src = v.row(static_cast<int64_t>(i));
+    float* dst = out.row(idx[i]);
+    for (int64_t c = 0; c < v.cols(); ++c) dst[c] += src[c];
+  }
+  return MakeOpNode(std::move(out), {x}, [idx = std::move(idx)](AutogradNode* n) {
+    if (!n->parents[0]->requires_grad) return;
+    n->parents[0]->EnsureGrad();
+    Tensor& pg = n->parents[0]->grad;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const float* src = n->grad.row(idx[i]);
+      float* dst = pg.row(static_cast<int64_t>(i));
+      for (int64_t c = 0; c < pg.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Variable GatherCols(const Variable& x, std::vector<int64_t> idx) {
+  const Tensor& v = x.value();
+  GR_CHECK_EQ(v.rows(), static_cast<int64_t>(idx.size()));
+  Tensor out(v.rows(), 1);
+  for (int64_t i = 0; i < v.rows(); ++i) {
+    GR_CHECK(idx[static_cast<size_t>(i)] >= 0 &&
+             idx[static_cast<size_t>(i)] < v.cols());
+    out.at(i, 0) = v.at(i, idx[static_cast<size_t>(i)]);
+  }
+  return MakeOpNode(std::move(out), {x}, [idx = std::move(idx)](AutogradNode* n) {
+    if (!n->parents[0]->requires_grad) return;
+    n->parents[0]->EnsureGrad();
+    Tensor& pg = n->parents[0]->grad;
+    for (int64_t i = 0; i < pg.rows(); ++i) {
+      pg.at(i, idx[static_cast<size_t>(i)]) += n->grad.at(i, 0);
+    }
+  });
+}
+
+Variable RowScale(const Variable& x, const Variable& s) {
+  const Tensor& v = x.value();
+  GR_CHECK_EQ(s.value().rows(), v.rows());
+  GR_CHECK_EQ(s.value().cols(), 1);
+  Tensor out = v;
+  for (int64_t r = 0; r < v.rows(); ++r) {
+    const float sv = s.value().at(r, 0);
+    float* p = out.row(r);
+    for (int64_t c = 0; c < v.cols(); ++c) p[c] *= sv;
+  }
+  return MakeOpNode(std::move(out), {x, s}, [](AutogradNode* n) {
+    const Tensor& xv = n->parents[0]->value;
+    const Tensor& sv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      n->parents[0]->EnsureGrad();
+      Tensor& pg = n->parents[0]->grad;
+      for (int64_t r = 0; r < pg.rows(); ++r) {
+        const float svr = sv.at(r, 0);
+        const float* g = n->grad.row(r);
+        float* p = pg.row(r);
+        for (int64_t c = 0; c < pg.cols(); ++c) p[c] += g[c] * svr;
+      }
+    }
+    if (n->parents[1]->requires_grad) {
+      n->parents[1]->EnsureGrad();
+      Tensor& pg = n->parents[1]->grad;
+      for (int64_t r = 0; r < xv.rows(); ++r) {
+        const float* g = n->grad.row(r);
+        const float* xr = xv.row(r);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < xv.cols(); ++c) dot += g[c] * xr[c];
+        pg.at(r, 0) += dot;
+      }
+    }
+  });
+}
+
+Variable ScaleByScalar(const Variable& x, const Variable& s) {
+  GR_CHECK(s.value().is_scalar());
+  Tensor out = x.value();
+  out.ScaleInPlace(s.value().scalar());
+  return MakeOpNode(std::move(out), {x, s}, [](AutogradNode* n) {
+    const float sv = n->parents[1]->value.scalar();
+    if (n->parents[0]->requires_grad) {
+      n->parents[0]->EnsureGrad();
+      n->parents[0]->grad.AxpyInPlace(sv, n->grad);
+    }
+    if (n->parents[1]->requires_grad) {
+      const Tensor& xv = n->parents[0]->value;
+      double dot = 0.0;
+      for (int64_t i = 0; i < xv.numel(); ++i) dot += xv[i] * n->grad[i];
+      n->parents[1]->EnsureGrad();
+      n->parents[1]->grad[0] += static_cast<float>(dot);
+    }
+  });
+}
+
+Variable SegmentSoftmax(const Variable& scores, std::vector<int64_t> seg,
+                        int64_t num_segments) {
+  const Tensor& sc = scores.value();
+  GR_CHECK_EQ(sc.cols(), 1);
+  GR_CHECK_EQ(sc.rows(), static_cast<int64_t>(seg.size()));
+  const int64_t e = sc.rows();
+
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t i = 0; i < e; ++i) {
+    const int64_t s = seg[static_cast<size_t>(i)];
+    GR_CHECK(s >= 0 && s < num_segments) << "segment index out of range";
+    seg_max[static_cast<size_t>(s)] =
+        std::max(seg_max[static_cast<size_t>(s)], sc.at(i, 0));
+  }
+  std::vector<double> seg_sum(static_cast<size_t>(num_segments), 0.0);
+  Tensor out(e, 1);
+  for (int64_t i = 0; i < e; ++i) {
+    const int64_t s = seg[static_cast<size_t>(i)];
+    out.at(i, 0) = std::exp(sc.at(i, 0) - seg_max[static_cast<size_t>(s)]);
+    seg_sum[static_cast<size_t>(s)] += out.at(i, 0);
+  }
+  for (int64_t i = 0; i < e; ++i) {
+    const int64_t s = seg[static_cast<size_t>(i)];
+    out.at(i, 0) = static_cast<float>(out.at(i, 0) /
+                                      seg_sum[static_cast<size_t>(s)]);
+  }
+  Tensor saved = out;
+  return MakeOpNode(
+      std::move(out), {scores},
+      [seg = std::move(seg), num_segments,
+       saved = std::move(saved)](AutogradNode* n) {
+        if (!n->parents[0]->requires_grad) return;
+        // d score_i = alpha_i * (G_i - sum_{j in seg(i)} alpha_j G_j)
+        std::vector<double> seg_dot(static_cast<size_t>(num_segments), 0.0);
+        const int64_t e = saved.rows();
+        for (int64_t i = 0; i < e; ++i) {
+          seg_dot[static_cast<size_t>(seg[static_cast<size_t>(i)])] +=
+              static_cast<double>(saved.at(i, 0)) * n->grad.at(i, 0);
+        }
+        n->parents[0]->EnsureGrad();
+        Tensor& pg = n->parents[0]->grad;
+        for (int64_t i = 0; i < e; ++i) {
+          const double dot =
+              seg_dot[static_cast<size_t>(seg[static_cast<size_t>(i)])];
+          pg.at(i, 0) += static_cast<float>(
+              saved.at(i, 0) * (n->grad.at(i, 0) - dot));
+        }
+      });
+}
+
+Variable Clamp(const Variable& a, float lo, float hi) {
+  GR_CHECK_LE(lo, hi);
+  return UnaryElementwise(
+      a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float) {
+        return (x >= lo && x <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Variable Min(const Variable& a, const Variable& b) {
+  GR_CHECK(a.value().SameShape(b.value()));
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  Tensor out(av.rows(), av.cols());
+  Tensor mask(av.rows(), av.cols());  // 1 where a is selected
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (av[i] <= bv[i]) {
+      out[i] = av[i];
+      mask[i] = 1.0f;
+    } else {
+      out[i] = bv[i];
+      mask[i] = 0.0f;
+    }
+  }
+  return MakeOpNode(std::move(out), {a, b},
+                    [mask = std::move(mask)](AutogradNode* n) {
+                      if (n->parents[0]->requires_grad) {
+                        Tensor d = n->grad;
+                        d.MulInPlace(mask);
+                        Accumulate(n->parents[0], d);
+                      }
+                      if (n->parents[1]->requires_grad) {
+                        Tensor d = n->grad;
+                        float* p = d.data();
+                        const float* m = mask.data();
+                        for (int64_t i = 0; i < d.numel(); ++i) {
+                          p[i] *= (1.0f - m[i]);
+                        }
+                        Accumulate(n->parents[1], d);
+                      }
+                    });
+}
+
+Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& index,
+                      const std::vector<int64_t>& labels) {
+  GR_CHECK_EQ(index.size(), labels.size());
+  GR_CHECK(!index.empty());
+  Variable logp = LogSoftmaxRows(logits);
+  Variable sel = GatherRows(logp, index);
+  return NllLoss(sel, labels);
+}
+
+Variable MseLoss(const Variable& a, const Variable& b) {
+  return MeanAll(Square(Sub(a, b)));
+}
+
+}  // namespace ops
+}  // namespace tensor
+}  // namespace graphrare

@@ -1,0 +1,129 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Differentiable operations over Variable. Every op returns a fresh tape
+// node whose backward accumulates into the parents' gradients. Shapes follow
+// the library convention: everything is 2-D, vectors are (n,1) columns,
+// scalars are (1,1).
+
+#ifndef GRAPHRARE_TENSOR_OPS_H_
+#define GRAPHRARE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/sparse.h"
+
+namespace graphrare {
+namespace tensor {
+namespace ops {
+
+// -- Arithmetic -----------------------------------------------------------
+
+/// Elementwise a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+/// Elementwise a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+/// Elementwise a * b (same shape).
+Variable Mul(const Variable& a, const Variable& b);
+/// a + bias, bias shape (1, n) broadcast over rows of a (m, n).
+Variable AddBias(const Variable& a, const Variable& bias);
+/// c * a for a compile-time constant c.
+Variable Scale(const Variable& a, float c);
+/// a + c elementwise.
+Variable AddScalar(const Variable& a, float c);
+/// -a.
+Variable Neg(const Variable& a);
+/// a^2 elementwise.
+Variable Square(const Variable& a);
+
+// -- Matrix products ------------------------------------------------------
+
+/// Dense matmul (m,k)x(k,n) -> (m,n).
+Variable MatMul(const Variable& a, const Variable& b);
+/// Sparse-dense product y = S x, S fixed (no gradient flows into S).
+/// The CSR matrix is captured by shared_ptr; its transpose is cached inside.
+Variable SpMM(std::shared_ptr<const CsrMatrix> s, const Variable& x);
+
+// -- Nonlinearities -------------------------------------------------------
+
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float negative_slope = 0.2f);
+Variable Elu(const Variable& a, float alpha = 1.0f);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Exp(const Variable& a);
+/// Natural log; inputs must be positive.
+Variable Log(const Variable& a);
+
+/// Inverted dropout. Identity when !training or p == 0.
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+// -- Softmax family -------------------------------------------------------
+
+/// Row-wise log-softmax (numerically stable).
+Variable LogSoftmaxRows(const Variable& a);
+/// Row-wise softmax.
+Variable SoftmaxRows(const Variable& a);
+
+/// Negative log-likelihood over *all* rows of logp (m, c) with integer
+/// labels (size m): -(1/m) sum_i logp[i, labels[i]]. Returns a scalar.
+Variable NllLoss(const Variable& logp, const std::vector<int64_t>& labels);
+
+// -- Reductions -----------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Variable SumAll(const Variable& a);
+/// Mean of all elements -> scalar.
+Variable MeanAll(const Variable& a);
+/// Row sums (m,n) -> (m,1).
+Variable RowSumCols(const Variable& a);
+
+// -- Shape / indexing -----------------------------------------------------
+
+/// Horizontal concatenation [a1 | a2 | ...]; all inputs share row count.
+Variable ConcatCols(const std::vector<Variable>& parts);
+/// Y[i,:] = X[idx[i],:]. Backward scatter-adds.
+Variable GatherRows(const Variable& x, std::vector<int64_t> idx);
+/// Y (n,f) with Y[idx[i],:] += X[i,:] (X is (e,f)).
+Variable ScatterAddRows(const Variable& x, std::vector<int64_t> idx,
+                        int64_t num_rows);
+/// y[i] = X[i, idx[i]] -> (m,1). One element per row.
+Variable GatherCols(const Variable& x, std::vector<int64_t> idx);
+/// Y[i,:] = X[i,:] * s[i] with s shape (m,1).
+Variable RowScale(const Variable& x, const Variable& s);
+/// Y = s * X where s is a trainable (1,1) scalar Variable.
+Variable ScaleByScalar(const Variable& x, const Variable& s);
+
+// -- Segment operations (edge-level GNN math) -----------------------------
+
+/// Softmax of scores (e,1) within segments given by seg[i] in [0, n).
+/// Segments need not be contiguous. Used for GAT attention normalisation.
+Variable SegmentSoftmax(const Variable& scores, std::vector<int64_t> seg,
+                        int64_t num_segments);
+
+// -- Clipping (PPO) -------------------------------------------------------
+
+/// Elementwise clamp; gradient passes only where lo < a < hi.
+Variable Clamp(const Variable& a, float lo, float hi);
+/// Elementwise minimum of a and b; gradient flows to the smaller input
+/// (ties -> a).
+Variable Min(const Variable& a, const Variable& b);
+
+// -- Convenience ----------------------------------------------------------
+
+/// Cross-entropy over the rows of `logits` selected by `index` with labels
+/// `labels` (labels[i] is the class of row index[i]). Mean reduction.
+Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& index,
+                      const std::vector<int64_t>& labels);
+
+/// Mean squared error between a and b (same shape) -> scalar.
+Variable MseLoss(const Variable& a, const Variable& b);
+
+}  // namespace ops
+}  // namespace tensor
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_TENSOR_OPS_H_

@@ -1,0 +1,153 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+namespace graphrare {
+namespace tensor {
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                             std::vector<CooEntry> entries) {
+  GR_CHECK_GE(rows, 0);
+  GR_CHECK_GE(cols, 0);
+  for (const auto& e : entries) {
+    GR_CHECK(e.row >= 0 && e.row < rows)
+        << "COO row " << e.row << " out of range [0," << rows << ")";
+    GR_CHECK(e.col >= 0 && e.col < cols)
+        << "COO col " << e.col << " out of range [0," << cols << ")";
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(sum);
+    m.row_ptr_[static_cast<size_t>(entries[i].row) + 1]++;
+    i = j;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) entries.push_back({i, i, 1.0f});
+  return FromCoo(n, n, std::move(entries));
+}
+
+Tensor CsrMatrix::SpMM(const Tensor& x) const {
+  GR_CHECK_EQ(cols_, x.rows());
+  const int64_t f = x.cols();
+  Tensor y(rows_, f);
+  const float* px = x.data();
+  float* py = y.data();
+#pragma omp parallel for schedule(dynamic, 64) if (nnz() * f > (1 << 18))
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* yrow = py + r * f;
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const float v = values_[static_cast<size_t>(p)];
+      const float* xrow = px + col_idx_[static_cast<size_t>(p)] * f;
+      for (int64_t c = 0; c < f; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::Transposed() const {
+  if (transposed_cache_) return transposed_cache_;
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(nnz()));
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      entries.push_back({col_idx_[static_cast<size_t>(p)], r,
+                         values_[static_cast<size_t>(p)]});
+    }
+  }
+  auto t = std::make_shared<CsrMatrix>(
+      FromCoo(cols_, rows_, std::move(entries)));
+  transposed_cache_ = t;
+  return transposed_cache_;
+}
+
+CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other) const {
+  GR_CHECK_EQ(cols_, other.rows_);
+  // Gustavson's algorithm with a dense accumulator per row.
+  std::vector<CooEntry> entries;
+  std::vector<float> acc(static_cast<size_t>(other.cols_), 0.0f);
+  std::vector<int64_t> touched;
+  for (int64_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const int64_t k = col_idx_[static_cast<size_t>(p)];
+      const float va = values_[static_cast<size_t>(p)];
+      for (int64_t q = other.row_ptr_[static_cast<size_t>(k)];
+           q < other.row_ptr_[static_cast<size_t>(k) + 1]; ++q) {
+        const int64_t c = other.col_idx_[static_cast<size_t>(q)];
+        if (acc[static_cast<size_t>(c)] == 0.0f) touched.push_back(c);
+        acc[static_cast<size_t>(c)] += va * other.values_[static_cast<size_t>(q)];
+      }
+    }
+    for (int64_t c : touched) {
+      // An exact zero sum is indistinguishable from "untouched"; such
+      // cancellations simply drop the entry, which is fine for adjacency use.
+      if (acc[static_cast<size_t>(c)] != 0.0f) {
+        entries.push_back({r, c, acc[static_cast<size_t>(c)]});
+        acc[static_cast<size_t>(c)] = 0.0f;
+      }
+    }
+  }
+  return FromCoo(rows_, other.cols_, std::move(entries));
+}
+
+CsrMatrix CsrMatrix::WithUniformValues(float v) const {
+  CsrMatrix m = *this;
+  std::fill(m.values_.begin(), m.values_.end(), v);
+  m.transposed_cache_.reset();
+  return m;
+}
+
+float CsrMatrix::At(int64_t r, int64_t c) const {
+  GR_CHECK(r >= 0 && r < rows_);
+  GR_CHECK(c >= 0 && c < cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[static_cast<size_t>(r)];
+  const auto end = col_idx_.begin() + row_ptr_[static_cast<size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor d(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      d.at(r, col_idx_[static_cast<size_t>(p)]) =
+          values_[static_cast<size_t>(p)];
+    }
+  }
+  return d;
+}
+
+}  // namespace tensor
+}  // namespace graphrare

@@ -1,0 +1,83 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Compressed sparse row matrix for graph adjacency operators. Used by the
+// GNN layers (SpMM is the message-passing hot loop) and by GCN
+// normalisation. Values are float so normalised adjacencies fit directly.
+
+#ifndef GRAPHRARE_TENSOR_SPARSE_H_
+#define GRAPHRARE_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace graphrare {
+namespace tensor {
+
+/// A COO triple used when assembling sparse matrices.
+struct CooEntry {
+  int64_t row;
+  int64_t col;
+  float value;
+};
+
+/// Immutable CSR matrix. Rows are sorted by construction; duplicate COO
+/// entries are summed.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from COO entries (any order; duplicates summed).
+  static CsrMatrix FromCoo(int64_t rows, int64_t cols,
+                           std::vector<CooEntry> entries);
+
+  /// Identity matrix of size n.
+  static CsrMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Y = A * X (dense). X is (cols x f) -> Y (rows x f).
+  Tensor SpMM(const Tensor& x) const;
+
+  /// y = A * x for a column vector (cols x 1).
+  Tensor SpMV(const Tensor& x) const { return SpMM(x); }
+
+  /// Transposed copy. Cached: repeated calls return the same shared matrix
+  /// (backward passes need A^T on every step).
+  std::shared_ptr<const CsrMatrix> Transposed() const;
+
+  /// Sparse-sparse product (this * other). Used for 2-hop adjacency in
+  /// H2GCN. Result values are the path counts / weight sums.
+  CsrMatrix Multiply(const CsrMatrix& other) const;
+
+  /// Returns a copy with all values replaced by `v`.
+  CsrMatrix WithUniformValues(float v) const;
+
+  /// Element lookup (binary search within the row). Zero when absent.
+  float At(int64_t r, int64_t c) const;
+
+  /// Dense copy (tests and small visualisations only).
+  Tensor ToDense() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;  // size rows_+1
+  std::vector<int64_t> col_idx_;  // size nnz, sorted within each row
+  std::vector<float> values_;    // size nnz
+
+  mutable std::shared_ptr<const CsrMatrix> transposed_cache_;
+};
+
+}  // namespace tensor
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_TENSOR_SPARSE_H_

@@ -1,0 +1,169 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Dense row-major float32 matrix. The whole library standardises on 2-D
+// tensors: vectors are (n, 1) columns and scalars are (1, 1). This keeps
+// every kernel and every backward pass unambiguous about shapes.
+
+#ifndef GRAPHRARE_TENSOR_TENSOR_H_
+#define GRAPHRARE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace graphrare {
+namespace tensor {
+
+/// Dense (rows x cols) float32 matrix with value semantics.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-filled (rows x cols).
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    GR_CHECK_GE(rows, 0);
+    GR_CHECK_GE(cols, 0);
+  }
+
+  // -- Factories --------------------------------------------------------
+
+  static Tensor Zeros(int64_t rows, int64_t cols) {
+    return Tensor(rows, cols);
+  }
+  static Tensor Ones(int64_t rows, int64_t cols) {
+    return Full(rows, cols, 1.0f);
+  }
+  static Tensor Full(int64_t rows, int64_t cols, float v) {
+    Tensor t(rows, cols);
+    t.Fill(v);
+    return t;
+  }
+  /// 1x1 scalar tensor.
+  static Tensor Scalar(float v) { return Full(1, 1, v); }
+  /// Identity matrix.
+  static Tensor Eye(int64_t n) {
+    Tensor t(n, n);
+    for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+    return t;
+  }
+  /// Takes ownership of `data` (must have rows*cols elements).
+  static Tensor FromData(int64_t rows, int64_t cols, std::vector<float> data) {
+    GR_CHECK_EQ(static_cast<int64_t>(data.size()), rows * cols);
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = std::move(data);
+    return t;
+  }
+  /// Column vector (n x 1) from data.
+  static Tensor ColumnVector(std::vector<float> data) {
+    const int64_t n = static_cast<int64_t>(data.size());
+    return FromData(n, 1, std::move(data));
+  }
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(int64_t rows, int64_t cols, Rng* rng,
+                      float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor Rand(int64_t rows, int64_t cols, Rng* rng, float lo = 0.0f,
+                     float hi = 1.0f);
+  /// Glorot/Xavier uniform initialisation for a (fan_in x fan_out) weight.
+  static Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+  // -- Shape ------------------------------------------------------------
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+  bool is_scalar() const { return rows_ == 1 && cols_ == 1; }
+  bool SameShape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  // -- Element access ---------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    GR_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    GR_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float& operator[](int64_t i) {
+    GR_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    GR_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  /// Value of a 1x1 tensor.
+  float scalar() const {
+    GR_CHECK(is_scalar()) << "scalar() on " << rows_ << "x" << cols_;
+    return data_[0];
+  }
+
+  const float* row(int64_t r) const { return data() + r * cols_; }
+  float* row(int64_t r) { return data() + r * cols_; }
+
+  // -- In-place value operations (no autograd; used by kernels/optim) ----
+
+  void Fill(float v);
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this += alpha * other (same shape).
+  void AxpyInPlace(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+  /// this = elementwise this * other.
+  void MulInPlace(const Tensor& other);
+
+  // -- Value-level helpers ------------------------------------------------
+
+  Tensor Transposed() const;
+  /// Deep equality within tolerance.
+  bool AllClose(const Tensor& other, float atol = 1e-5f,
+                float rtol = 1e-4f) const;
+  float MaxAbs() const;
+  float Sum() const;
+  float Mean() const;
+  /// Returns true if any element is NaN or Inf.
+  bool HasNonFinite() const;
+  /// Index of the max element in row r (argmax over columns).
+  int64_t ArgMaxRow(int64_t r) const;
+
+  std::string DebugString(int64_t max_elems = 32) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+// -- Dense kernels (value level, no autograd) ----------------------------
+
+/// C = A * B. Shapes (m,k) x (k,n) -> (m,n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A^T * B. Shapes (k,m) x (k,n) -> (m,n).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C = A * B^T. Shapes (m,k) x (n,k) -> (m,n).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+/// Column sums -> (1, n).
+Tensor ColSum(const Tensor& a);
+/// Row sums -> (m, 1).
+Tensor RowSum(const Tensor& a);
+
+}  // namespace tensor
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_TENSOR_TENSOR_H_

@@ -1,0 +1,94 @@
+// Graph persistence round-trip and error-path tests.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace graphrare {
+namespace graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = Graph::FromEdgeListOrDie(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  const std::string path = TempPath("roundtrip.graph");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 5);
+  EXPECT_EQ(loaded->edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  Graph g = Graph::FromEdgeListOrDie(3, {});
+  const std::string path = TempPath("empty.graph");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 3);
+  EXPECT_EQ(loaded->num_edges(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  auto r = LoadGraph(TempPath("does-not-exist.graph"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, MalformedHeaderRejected) {
+  const std::string path = TempPath("malformed.graph");
+  std::ofstream(path) << "not a header\n";
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedEdgeListRejected) {
+  const std::string path = TempPath("truncated.graph");
+  std::ofstream(path) << "4 3\n0 1\n1 2\n";  // promises 3 edges, has 2
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, OutOfRangeEndpointRejected) {
+  const std::string path = TempPath("oob.graph");
+  std::ofstream(path) << "2 1\n0 7\n";
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DuplicateEdgesRejected) {
+  const std::string path = TempPath("dup.graph");
+  std::ofstream(path) << "3 2\n0 1\n1 0\n";  // same undirected edge twice
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, OptimizedGraphExportImport) {
+  // End-to-end: rewire, save, reload, same homophily.
+  Graph g = Graph::FromEdgeListOrDie(6, {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  const std::string path = TempPath("rewired.graph");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<int64_t> labels = {0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(loaded->EdgeHomophily(labels), g.EdgeHomophily(labels));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace graphrare

@@ -1,0 +1,213 @@
+// Graph topology tests: canonicalisation, derived operators, homophily,
+// k-hop, editing.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_editor.h"
+
+namespace graphrare {
+namespace graph {
+namespace {
+
+// 0-1, 1-2, 2-3, 3-0 square plus 0-2 diagonal.
+Graph Square() {
+  return Graph::FromEdgeListOrDie(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = Square();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.Degree(0), 3);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.MaxDegree(), 3);
+}
+
+TEST(GraphTest, CanonicalisesDuplicatesAndDirections) {
+  Graph g = Graph::FromEdgeListOrDie(3, {{0, 1}, {1, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(GraphTest, DropsSelfLoops) {
+  Graph g = Graph::FromEdgeListOrDie(3, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, RejectsOutOfRange) {
+  auto r = Graph::FromEdgeList(2, {{0, 5}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdgeListOrDie(3, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(1), 0);
+  EXPECT_EQ(g.CountConnectedComponents(), 3);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = Square();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g = Square();
+  const auto n0 = g.Neighbors(0);
+  EXPECT_EQ(n0, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(GraphTest, AdjacencyMatchesEdges) {
+  Graph g = Square();
+  auto a = g.Adjacency();
+  EXPECT_EQ(a->nnz(), 10);  // 2 * 5 edges
+  EXPECT_FLOAT_EQ(a->At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(a->At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a->At(0, 0), 0.0f);
+}
+
+TEST(GraphTest, NormalizedAdjacencyRowsSumCorrectly) {
+  // For D^{-1/2}(A+I)D^{-1/2}, the row sum of row i equals
+  // sum_j (a_ij+I_ij) / sqrt(d_i d_j); verify diag and one entry by hand.
+  Graph g = Graph::FromEdgeListOrDie(2, {{0, 1}});
+  auto norm = g.NormalizedAdjacency();
+  // Both nodes have degree 1 -> (A+I) degrees are 2.
+  EXPECT_NEAR(norm->At(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(norm->At(0, 1), 0.5f, 1e-6);
+}
+
+TEST(GraphTest, RowNormalizedAdjacencySums) {
+  Graph g = Square();
+  auto rn = g.RowNormalizedAdjacency();
+  tensor::Tensor ones = tensor::Tensor::Ones(4, 1);
+  tensor::Tensor sums = rn->SpMM(ones);
+  for (int64_t v = 0; v < 4; ++v) {
+    EXPECT_NEAR(sums.at(v, 0), 1.0f, 1e-6);
+  }
+}
+
+TEST(GraphTest, IsolatedNodeRowNormalizedIsZero) {
+  Graph g = Graph::FromEdgeListOrDie(3, {{0, 1}});
+  auto rn = g.RowNormalizedAdjacency();
+  tensor::Tensor ones = tensor::Tensor::Ones(3, 1);
+  tensor::Tensor sums = rn->SpMM(ones);
+  EXPECT_NEAR(sums.at(2, 0), 0.0f, 1e-6);
+}
+
+TEST(GraphTest, TwoHopExcludesSelfAndOneHop) {
+  // Path 0-1-2-3.
+  Graph g = Graph::FromEdgeListOrDie(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto two = g.TwoHopAdjacency();
+  EXPECT_FLOAT_EQ(two->At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(two->At(1, 3), 1.0f);
+  EXPECT_FLOAT_EQ(two->At(0, 1), 0.0f);  // 1-hop excluded
+  EXPECT_FLOAT_EQ(two->At(0, 0), 0.0f);  // self excluded
+  EXPECT_FLOAT_EQ(two->At(0, 3), 0.0f);  // 3 hops away
+}
+
+TEST(GraphTest, TriangleHasNoStrictTwoHop) {
+  Graph g = Graph::FromEdgeListOrDie(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.TwoHopAdjacency()->nnz(), 0);
+}
+
+TEST(GraphTest, KHopNeighbors) {
+  // Path 0-1-2-3-4.
+  Graph g = Graph::FromEdgeListOrDie(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(g.KHopNeighbors(0, 1), (std::vector<int64_t>{1}));
+  EXPECT_EQ(g.KHopNeighbors(0, 2), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(g.KHopNeighbors(0, 4), (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(g.KHopNeighbors(0, 0).empty());
+}
+
+TEST(GraphTest, DirectedEdgesWithSelfLoops) {
+  Graph g = Graph::FromEdgeListOrDie(3, {{0, 1}});
+  std::vector<int64_t> src, dst;
+  g.DirectedEdgesWithSelfLoops(&src, &dst);
+  // 2 directions + 3 self loops.
+  EXPECT_EQ(src.size(), 5u);
+  EXPECT_EQ(dst.size(), 5u);
+}
+
+TEST(GraphTest, EdgeHomophily) {
+  // labels: 0,0,1,1. Edges: (0,1) same, (2,3) same, (1,2) cross.
+  Graph g = Graph::FromEdgeListOrDie(4, {{0, 1}, {2, 3}, {1, 2}});
+  EXPECT_NEAR(g.EdgeHomophily({0, 0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(GraphTest, EdgeHomophilyEdgeless) {
+  Graph g = Graph::FromEdgeListOrDie(2, {});
+  EXPECT_EQ(g.EdgeHomophily({0, 1}), 0.0);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g = Graph::FromEdgeListOrDie(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(g.CountConnectedComponents(), 3);  // {0,1,2}, {3,4}, {5}
+}
+
+// ---- GraphEditor ----------------------------------------------------------
+
+TEST(GraphEditorTest, AddEdge) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_TRUE(editor.AddEdge(1, 3));
+  Graph g2 = editor.Build();
+  EXPECT_TRUE(g2.HasEdge(1, 3));
+  EXPECT_EQ(g2.num_edges(), 6);
+  // Original untouched.
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(GraphEditorTest, AddExistingEdgeIsNoop) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_FALSE(editor.AddEdge(0, 1));
+  EXPECT_EQ(editor.Build().num_edges(), 5);
+}
+
+TEST(GraphEditorTest, RemoveEdge) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_TRUE(editor.RemoveEdge(0, 2));
+  Graph g2 = editor.Build();
+  EXPECT_FALSE(g2.HasEdge(0, 2));
+  EXPECT_EQ(g2.num_edges(), 4);
+}
+
+TEST(GraphEditorTest, RemoveMissingEdgeIsNoop) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_FALSE(editor.RemoveEdge(1, 3));
+  EXPECT_EQ(editor.Build().num_edges(), 5);
+}
+
+TEST(GraphEditorTest, RemoveWinsOverAdd) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  editor.AddEdge(1, 3);
+  editor.RemoveEdge(1, 3);  // unqueues the addition
+  EXPECT_FALSE(editor.Build().HasEdge(1, 3));
+}
+
+TEST(GraphEditorTest, SelfLoopIgnored) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_FALSE(editor.AddEdge(2, 2));
+  EXPECT_EQ(editor.Build().num_edges(), 5);
+}
+
+TEST(GraphEditorTest, DirectionAgnostic) {
+  Graph g = Square();
+  GraphEditor editor(&g);
+  EXPECT_TRUE(editor.AddEdge(3, 1));
+  EXPECT_FALSE(editor.AddEdge(1, 3));  // same undirected edge
+  EXPECT_EQ(editor.num_pending_additions(), 1);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace graphrare

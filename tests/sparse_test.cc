@@ -1,0 +1,126 @@
+// CSR matrix tests: construction, SpMM, transpose, sparse-sparse product.
+
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace graphrare {
+namespace tensor {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [[0 2 0]
+  //  [1 0 0]
+  //  [0 3 4]]
+  return CsrMatrix::FromCoo(
+      3, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {2, 1, 3.0f}, {2, 2, 4.0f}});
+}
+
+TEST(CsrTest, FromCooBasics) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 2), 4.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(CsrTest, DuplicateEntriesSummed) {
+  CsrMatrix m =
+      CsrMatrix::FromCoo(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, 1.0f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 3.5f);
+}
+
+TEST(CsrTest, UnsortedInputSorted) {
+  CsrMatrix m = CsrMatrix::FromCoo(
+      2, 3, {{1, 2, 1.0f}, {0, 1, 2.0f}, {1, 0, 3.0f}, {0, 0, 4.0f}});
+  // Column indices must be ascending within each row.
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t p = m.row_ptr()[r] + 1; p < m.row_ptr()[r + 1]; ++p) {
+      EXPECT_LT(m.col_idx()[p - 1], m.col_idx()[p]);
+    }
+  }
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0);
+  Tensor x = Tensor::Ones(3, 2);
+  Tensor y = m.SpMM(x);
+  EXPECT_TRUE(y.AllClose(Tensor::Zeros(3, 2)));
+}
+
+TEST(CsrTest, IdentitySpMMIsNoop) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn(4, 3, &rng);
+  CsrMatrix eye = CsrMatrix::Identity(4);
+  EXPECT_TRUE(eye.SpMM(x).AllClose(x));
+}
+
+TEST(CsrTest, SpMMMatchesDense) {
+  Rng rng(2);
+  CsrMatrix m = SmallMatrix();
+  Tensor x = Tensor::Randn(3, 5, &rng);
+  Tensor sparse_result = m.SpMM(x);
+  Tensor dense_result = MatMul(m.ToDense(), x);
+  EXPECT_TRUE(sparse_result.AllClose(dense_result));
+}
+
+TEST(CsrTest, TransposeMatchesDense) {
+  CsrMatrix m = SmallMatrix();
+  auto t = m.Transposed();
+  EXPECT_TRUE(t->ToDense().AllClose(m.ToDense().Transposed()));
+}
+
+TEST(CsrTest, TransposeIsCached) {
+  CsrMatrix m = SmallMatrix();
+  auto t1 = m.Transposed();
+  auto t2 = m.Transposed();
+  EXPECT_EQ(t1.get(), t2.get());
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  Rng rng(3);
+  CsrMatrix a = SmallMatrix();
+  CsrMatrix b = CsrMatrix::FromCoo(
+      3, 4, {{0, 0, 1.0f}, {1, 2, 2.0f}, {2, 1, -1.0f}, {2, 3, 0.5f}});
+  CsrMatrix c = a.Multiply(b);
+  Tensor expect = MatMul(a.ToDense(), b.ToDense());
+  EXPECT_TRUE(c.ToDense().AllClose(expect));
+}
+
+TEST(CsrTest, MultiplySquareOfAdjacencyCountsPaths) {
+  // Path graph 0-1-2: A^2 should have (0,2) entry = 1 (one 2-path).
+  CsrMatrix a = CsrMatrix::FromCoo(3, 3,
+                                   {{0, 1, 1.0f},
+                                    {1, 0, 1.0f},
+                                    {1, 2, 1.0f},
+                                    {2, 1, 1.0f}});
+  CsrMatrix a2 = a.Multiply(a);
+  EXPECT_FLOAT_EQ(a2.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(a2.At(0, 0), 1.0f);  // back-and-forth
+  EXPECT_FLOAT_EQ(a2.At(1, 1), 2.0f);  // two return paths via 0 and 2
+}
+
+TEST(CsrTest, WithUniformValues) {
+  CsrMatrix m = SmallMatrix().WithUniformValues(1.0f);
+  for (float v : m.values()) EXPECT_EQ(v, 1.0f);
+  EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(CsrDeathTest, OutOfRangeCooAborts) {
+  EXPECT_DEATH(CsrMatrix::FromCoo(2, 2, {{2, 0, 1.0f}}), "out of range");
+}
+
+TEST(CsrDeathTest, SpMMDimensionMismatchAborts) {
+  CsrMatrix m = SmallMatrix();
+  Tensor x(4, 2);
+  EXPECT_DEATH(m.SpMM(x), "GR_CHECK");
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace graphrare
