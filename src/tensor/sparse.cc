@@ -59,7 +59,9 @@ Tensor CsrMatrix::SpMM(const Tensor& x) const {
   Tensor y(rows_, f);
   const float* px = x.data();
   float* py = y.data();
+#ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 64) if (nnz() * f > (1 << 18))
+#endif
   for (int64_t r = 0; r < rows_; ++r) {
     float* yrow = py + r * f;
     for (int64_t p = row_ptr_[static_cast<size_t>(r)];

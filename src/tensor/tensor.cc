@@ -142,7 +142,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (m * k * n > (1 << 18))
+#endif
   for (int64_t i = 0; i < m; ++i) {
     float* crow = pc + i * n;
     for (int64_t kk = 0; kk < k; ++kk) {
@@ -187,7 +189,9 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (m * k * n > (1 << 18))
+#endif
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = pa + i * k;
     float* crow = pc + i * n;
