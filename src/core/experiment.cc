@@ -40,6 +40,39 @@ nn::ModelOptions ToModelOptions(const data::Dataset& dataset,
   return mo;
 }
 
+/// One split's outcome, for AggregateSplitRuns. `seconds` covers the fit
+/// only (model construction and test evaluation stay untimed).
+struct SplitRun {
+  double accuracy = 0.0;
+  double seconds = 0.0;
+  int64_t epochs = 0;
+};
+
+/// Shared per-split scaffolding: seed derivation and the accuracy /
+/// seconds-per-epoch aggregation. Both the full-graph and the mini-batch
+/// runners go through here so their results stay directly comparable
+/// (identical per-split seeds).
+BaselineAggregate AggregateSplitRuns(
+    const std::vector<data::Split>& splits, uint64_t base_seed,
+    const std::function<SplitRun(const data::Split&, uint64_t)>& run_split) {
+  std::vector<double> accs;
+  double total_seconds = 0.0;
+  int64_t total_epochs = 0;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    const uint64_t seed = base_seed + 1000 * (s + 1);
+    const SplitRun run = run_split(splits[s], seed);
+    total_seconds += run.seconds;
+    total_epochs += run.epochs;
+    accs.push_back(run.accuracy);
+  }
+  BaselineAggregate agg;
+  agg.accuracy = Aggregate(accs);
+  agg.seconds_per_epoch =
+      total_epochs > 0 ? total_seconds / static_cast<double>(total_epochs)
+                       : 0.0;
+  return agg;
+}
+
 }  // namespace
 
 BaselineAggregate RunBackbone(const data::Dataset& dataset,
@@ -61,32 +94,55 @@ BaselineAggregate RunCustomModel(
         factory,
     const ExperimentOptions& options, const graph::Graph* graph_override) {
   const graph::Graph& g = graph_override ? *graph_override : dataset.graph;
-  std::vector<double> accs;
-  double total_seconds = 0.0;
-  int64_t total_epochs = 0;
-  for (size_t s = 0; s < splits.size(); ++s) {
-    const uint64_t seed = options.seed + 1000 * (s + 1);
-    auto model = factory(seed);
-    nn::ClassifierTrainer::Options trainer_opts;
-    trainer_opts.adam = options.adam;
-    trainer_opts.seed = seed;
-    nn::ClassifierTrainer trainer(model.get(),
-                                  nn::LayerInput::Sparse(dataset.FeaturesCsr()),
-                                  &dataset.labels, trainer_opts);
-    Stopwatch watch;
-    const nn::FitResult fit =
-        trainer.Fit(g, splits[s].train, splits[s].val, options.max_epochs,
-                    options.patience);
-    total_seconds += watch.ElapsedSeconds();
-    total_epochs += fit.epochs_run;
-    accs.push_back(trainer.Evaluate(g, splits[s].test).accuracy);
-  }
-  BaselineAggregate agg;
-  agg.accuracy = Aggregate(accs);
-  agg.seconds_per_epoch =
-      total_epochs > 0 ? total_seconds / static_cast<double>(total_epochs)
-                       : 0.0;
-  return agg;
+  return AggregateSplitRuns(
+      splits, options.seed,
+      [&](const data::Split& split, uint64_t seed) {
+        auto model = factory(seed);
+        nn::ClassifierTrainer::Options trainer_opts;
+        trainer_opts.adam = options.adam;
+        trainer_opts.seed = seed;
+        nn::ClassifierTrainer trainer(
+            model.get(), nn::LayerInput::Sparse(dataset.FeaturesCsr()),
+            &dataset.labels, trainer_opts);
+        Stopwatch watch;
+        const nn::FitResult fit = trainer.Fit(
+            g, split.train, split.val, options.max_epochs, options.patience);
+        SplitRun run;
+        run.seconds = watch.ElapsedSeconds();
+        run.epochs = fit.epochs_run;
+        run.accuracy = trainer.Evaluate(g, split.test).accuracy;
+        return run;
+      });
+}
+
+BaselineAggregate RunBackboneMiniBatch(const data::Dataset& dataset,
+                                       const std::vector<data::Split>& splits,
+                                       nn::BackboneKind kind,
+                                       const ExperimentOptions& options,
+                                       const MiniBatchOptions& mb,
+                                       const graph::Graph* graph_override) {
+  const graph::Graph& g = graph_override ? *graph_override : dataset.graph;
+  return AggregateSplitRuns(
+      splits, options.seed,
+      [&](const data::Split& split, uint64_t seed) {
+        auto model =
+            nn::MakeModel(kind, ToModelOptions(dataset, options, seed));
+        nn::MiniBatchTrainer::Options trainer_opts;
+        trainer_opts.adam = options.adam;
+        trainer_opts.seed = seed;
+        nn::MiniBatchTrainer trainer(model.get(), dataset.FeaturesCsr(),
+                                     &dataset.labels, trainer_opts);
+        MiniBatchOptions per_split = mb;
+        per_split.sampler.seed = mb.sampler.seed + 131 * seed;
+        Stopwatch watch;
+        const MiniBatchFitResult fit = FitMiniBatch(
+            &trainer, g, split.train, split.val, per_split, seed);
+        SplitRun run;
+        run.seconds = watch.ElapsedSeconds();
+        run.epochs = fit.epochs_run;
+        run.accuracy = trainer.Evaluate(g, split.test).accuracy;
+        return run;
+      });
 }
 
 GraphRareAggregate RunGraphRare(const data::Dataset& dataset,

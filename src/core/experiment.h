@@ -71,6 +71,19 @@ BaselineAggregate RunCustomModel(
     const ExperimentOptions& options,
     const graph::Graph* graph_override = nullptr);
 
+/// Trains `kind` on each split with neighbor-sampled mini-batches
+/// (evaluation stays full-graph) and reports test accuracy stats.
+/// `options.max_epochs`/`patience` are overridden by `mb.max_epochs`/
+/// `mb.patience`; the rest of `options` (model size, Adam, seed) applies
+/// unchanged so full-graph and mini-batch runs are directly comparable.
+BaselineAggregate RunBackboneMiniBatch(const data::Dataset& dataset,
+                                       const std::vector<data::Split>& splits,
+                                       nn::BackboneKind kind,
+                                       const ExperimentOptions& options,
+                                       const MiniBatchOptions& mb,
+                                       const graph::Graph* graph_override =
+                                           nullptr);
+
 /// Aggregate of a GraphRARE run across splits.
 struct GraphRareAggregate {
   RunStats accuracy;

@@ -27,10 +27,12 @@
 #include "data/dataset.h"
 #include "data/generator.h"
 #include "data/registry.h"
+#include "data/sampler.h"
 #include "data/splits.h"
 #include "entropy/relative_entropy.h"
 #include "graph/graph.h"
 #include "graph/graph_editor.h"
+#include "graph/subgraph.h"
 #include "nn/models.h"
 #include "nn/trainer.h"
 #include "rl/env.h"

@@ -38,6 +38,69 @@ Status GraphRareOptions::Validate() const {
   return Status::OK();
 }
 
+Status MiniBatchOptions::Validate() const {
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (max_epochs < 1) {
+    return Status::InvalidArgument("max_epochs must be >= 1");
+  }
+  if (patience < 1) return Status::InvalidArgument("patience must be >= 1");
+  return sampler.Validate();
+}
+
+MiniBatchFitResult FitMiniBatch(nn::MiniBatchTrainer* trainer,
+                                const graph::Graph& g,
+                                const std::vector<int64_t>& train_idx,
+                                const std::vector<int64_t>& val_idx,
+                                const MiniBatchOptions& options,
+                                uint64_t seed) {
+  GR_CHECK(trainer != nullptr);
+  GR_CHECK(!train_idx.empty());
+  GR_CHECK(!val_idx.empty());
+  GR_CHECK_OK(options.Validate());
+
+  data::NeighborSampler sampler(&g, options.sampler);
+  Rng shuffle_rng(seed ^ 0xB47C4E5ULL);
+
+  MiniBatchFitResult result;
+  std::vector<tensor::Tensor> best_weights = trainer->SaveWeights();
+  int since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const auto batches = data::NeighborSampler::MakeBatches(
+        train_idx, options.batch_size, options.shuffle, &shuffle_rng);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    int64_t seeds_seen = 0;
+    for (const auto& batch : batches) {
+      const graph::Subgraph block = sampler.SampleBlock(batch);
+      const nn::EvalResult step = trainer->TrainBatch(block);
+      const auto weight = static_cast<double>(batch.size());
+      loss_sum += step.loss * weight;
+      acc_sum += step.accuracy * weight;
+      seeds_seen += static_cast<int64_t>(batch.size());
+      ++result.batches_run;
+    }
+    result.train_loss_history.push_back(loss_sum /
+                                        static_cast<double>(seeds_seen));
+    result.train_acc_history.push_back(acc_sum /
+                                       static_cast<double>(seeds_seen));
+    const double val_acc = trainer->Evaluate(g, val_idx).accuracy;
+    result.val_acc_history.push_back(val_acc);
+    ++result.epochs_run;
+    if (val_acc > result.best_val_accuracy) {
+      result.best_val_accuracy = val_acc;
+      result.best_epoch = epoch;
+      best_weights = trainer->SaveWeights();
+      since_best = 0;
+    } else if (++since_best >= options.patience) {
+      break;
+    }
+  }
+  trainer->LoadWeights(best_weights);
+  return result;
+}
+
 GraphRareTrainer::GraphRareTrainer(const data::Dataset* dataset,
                                    GraphRareOptions options)
     : dataset_(dataset), options_(std::move(options)) {

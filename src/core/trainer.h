@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/sampler.h"
 #include "data/splits.h"
 #include "entropy/relative_entropy.h"
 #include "nn/trainer.h"
@@ -95,6 +96,44 @@ struct GraphRareResult {
 
   graph::Graph best_graph;
 };
+
+/// Mini-batch supervised training configuration: neighbor-sampled blocks
+/// for the optimization steps, full-graph forward passes for evaluation.
+struct MiniBatchOptions {
+  data::SamplerOptions sampler;
+  int64_t batch_size = 256;
+  int max_epochs = 100;
+  int patience = 20;
+  /// Reshuffle the seed order every epoch. When false, batch composition
+  /// is identical every epoch; only the sampled neighborhoods still vary,
+  /// through the sampler's block counter.
+  bool shuffle = true;
+
+  Status Validate() const;
+};
+
+/// Outcome of a FitMiniBatch run.
+struct MiniBatchFitResult {
+  int epochs_run = 0;
+  int64_t batches_run = 0;
+  double best_val_accuracy = 0.0;
+  int best_epoch = -1;
+  /// Per-epoch seed-weighted means over the epoch's batches.
+  std::vector<double> train_loss_history;
+  std::vector<double> train_acc_history;
+  /// Per-epoch full-graph validation accuracy.
+  std::vector<double> val_acc_history;
+};
+
+/// Trains on sampled blocks with early stopping on full-graph validation
+/// accuracy; restores the best weights before returning. `seed` drives the
+/// epoch shuffling (the sampler's own seed lives in options.sampler).
+MiniBatchFitResult FitMiniBatch(nn::MiniBatchTrainer* trainer,
+                                const graph::Graph& g,
+                                const std::vector<int64_t>& train_idx,
+                                const std::vector<int64_t>& val_idx,
+                                const MiniBatchOptions& options,
+                                uint64_t seed);
 
 /// Runs Algorithm 1 on one dataset split.
 class GraphRareTrainer {

@@ -1,0 +1,60 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Induced-subgraph extraction with local<->global node remapping. This is
+// the "block" structure mini-batch training runs on: the neighbor sampler
+// (src/data/sampler.h) picks a node set around a batch of seed nodes, and
+// the induced subgraph over that set — with all derived operators built by
+// the ordinary Graph machinery — is what the GNN forward pass sees.
+//
+// Local ids are assigned in ascending global-id order. This is a contract,
+// not a convenience: CSR rows of the sub-operators then enumerate neighbors
+// in the same relative order as the full-graph operators, so with full
+// fanout a mini-batch step reproduces the full-graph step bitwise (see
+// tests/minibatch_test.cc).
+
+#ifndef GRAPHRARE_GRAPH_SUBGRAPH_H_
+#define GRAPHRARE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+
+namespace graphrare {
+namespace graph {
+
+/// An induced subgraph plus the index maps needed to move between the
+/// subgraph's local ids and the parent graph's global ids.
+struct Subgraph {
+  /// Induced topology over local ids [0, nodes.size()).
+  Graph graph;
+  /// Local -> global map; strictly ascending.
+  std::vector<int64_t> nodes;
+  /// Local ids of the batch seeds, in the caller's seed order.
+  std::vector<int64_t> seed_local;
+  /// The same seeds as global ids (caller's order, for label lookups).
+  std::vector<int64_t> seed_global;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
+  int64_t num_seeds() const { return static_cast<int64_t>(seed_local.size()); }
+
+  /// Local id of a global node, or -1 when the node is not in the subgraph.
+  int64_t GlobalToLocal(int64_t global_id) const;
+
+  /// Rows of a global per-node matrix (features) restricted to this
+  /// subgraph's nodes, in local-id order.
+  tensor::CsrMatrix LocalRows(const tensor::CsrMatrix& global) const;
+};
+
+/// Extracts the subgraph of `g` induced by `nodes` (all edges of `g` with
+/// both endpoints in the set). `nodes` may be unsorted and contain
+/// duplicates; `seeds` must all be members of `nodes`. Fails on
+/// out-of-range ids or seeds outside the node set.
+Result<Subgraph> InducedSubgraph(const Graph& g, std::vector<int64_t> nodes,
+                                 const std::vector<int64_t>& seeds);
+
+}  // namespace graph
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_GRAPH_SUBGRAPH_H_

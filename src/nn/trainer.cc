@@ -103,6 +103,53 @@ FitResult ClassifierTrainer::Fit(const graph::Graph& g,
   return result;
 }
 
+MiniBatchTrainer::MiniBatchTrainer(
+    NodeClassifier* model,
+    std::shared_ptr<const tensor::CsrMatrix> features,
+    const std::vector<int64_t>* labels, const Options& options)
+    : full_(model, LayerInput::Sparse(features), labels,
+            ClassifierTrainer::Options{options.adam, options.seed}),
+      features_(std::move(features)),
+      labels_(labels),
+      dropout_rng_(options.seed ^ 0x3C3C3C3CULL) {
+  GR_CHECK(features_ != nullptr);
+}
+
+EvalResult MiniBatchTrainer::TrainBatch(const graph::Subgraph& block) {
+  GR_CHECK_GT(block.num_seeds(), 0);
+  auto local_features = std::make_shared<tensor::CsrMatrix>(
+      block.LocalRows(*features_));
+  ModelInputs inputs;
+  inputs.graph = &block.graph;
+  inputs.features = LayerInput::Sparse(std::move(local_features));
+
+  model()->ZeroGrad();
+  Variable logits = model()->Logits(inputs, /*training=*/true, &dropout_rng_);
+  std::vector<int64_t> y = SubsetLabels(*labels_, block.seed_global);
+  Variable loss = ops::CrossEntropy(logits, block.seed_local, y);
+  loss.Backward();
+  optimizer()->Step();
+
+  EvalResult result;
+  result.loss = loss.value().scalar();
+  // Seed labels in local-row terms so the shared metric applies unchanged.
+  std::vector<int64_t> local_labels(block.nodes.size(), 0);
+  for (size_t i = 0; i < block.seed_local.size(); ++i) {
+    local_labels[static_cast<size_t>(block.seed_local[i])] = y[i];
+  }
+  result.accuracy = Accuracy(logits.value(), local_labels, block.seed_local);
+  return result;
+}
+
+EvalResult MiniBatchTrainer::Evaluate(const graph::Graph& g,
+                                      const std::vector<int64_t>& idx) {
+  return full_.Evaluate(g, idx);
+}
+
+tensor::Tensor MiniBatchTrainer::EvalLogits(const graph::Graph& g) {
+  return full_.EvalLogits(g);
+}
+
 std::vector<tensor::Tensor> ClassifierTrainer::SaveWeights() const {
   std::vector<tensor::Tensor> weights;
   for (const auto& p : model_->Parameters()) weights.push_back(p.value());

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/subgraph.h"
 #include "nn/metrics.h"
 #include "nn/models.h"
 #include "nn/optim.h"
@@ -77,6 +78,55 @@ class ClassifierTrainer {
   LayerInput features_;
   const std::vector<int64_t>* labels_;
   std::unique_ptr<Adam> optimizer_;
+  Rng dropout_rng_;
+};
+
+/// Mini-batch trainer: optimizes the model one sampled block at a time
+/// (the block comes from data::NeighborSampler via graph::InducedSubgraph)
+/// while evaluation stays full-graph. Per-step memory and compute scale
+/// with the block, not the whole adjacency, which is what lets training
+/// reach graphs far beyond full-graph SpMM budgets.
+class MiniBatchTrainer {
+ public:
+  struct Options {
+    Adam::Options adam;
+    uint64_t seed = 1;  ///< dropout stream
+  };
+
+  /// `model` and `labels` must outlive the trainer. `features` is the
+  /// *global* feature matrix; per-batch slices are taken per block.
+  MiniBatchTrainer(NodeClassifier* model,
+                   std::shared_ptr<const tensor::CsrMatrix> features,
+                   const std::vector<int64_t>* labels,
+                   const Options& options);
+
+  /// One optimization step on a sampled block; loss/accuracy are over the
+  /// block's seed nodes, from the same forward pass that produced the
+  /// update.
+  EvalResult TrainBatch(const graph::Subgraph& block);
+
+  /// Full-graph evaluation (no dropout, no gradients) on `idx`.
+  EvalResult Evaluate(const graph::Graph& g, const std::vector<int64_t>& idx);
+
+  /// Full logits in eval mode on the full graph.
+  tensor::Tensor EvalLogits(const graph::Graph& g);
+
+  std::vector<tensor::Tensor> SaveWeights() const {
+    return full_.SaveWeights();
+  }
+  void LoadWeights(const std::vector<tensor::Tensor>& weights) {
+    full_.LoadWeights(weights);
+  }
+
+  NodeClassifier* model() { return full_.model(); }
+  Adam* optimizer() { return full_.optimizer(); }
+
+ private:
+  /// Full-graph twin: owns the optimizer and the evaluation paths so the
+  /// two training modes share one Adam state and weight snapshots.
+  ClassifierTrainer full_;
+  std::shared_ptr<const tensor::CsrMatrix> features_;
+  const std::vector<int64_t>* labels_;
   Rng dropout_rng_;
 };
 

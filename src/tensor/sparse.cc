@@ -122,6 +122,37 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other) const {
   return FromCoo(rows_, other.cols_, std::move(entries));
 }
 
+CsrMatrix CsrMatrix::SelectRows(const std::vector<int64_t>& rows) const {
+  // Direct CSR assembly (not FromCoo): the source rows are already sorted,
+  // so slicing is a pure copy and keeps the per-row entry order bitwise
+  // identical to the source — the mini-batch equivalence guarantee relies
+  // on this.
+  CsrMatrix m;
+  m.rows_ = static_cast<int64_t>(rows.size());
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows.size() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    GR_CHECK(r >= 0 && r < rows_) << "SelectRows: row " << r
+                                  << " out of range [0," << rows_ << ")";
+    total += static_cast<size_t>(row_ptr_[static_cast<size_t>(r) + 1] -
+                                 row_ptr_[static_cast<size_t>(r)]);
+    m.row_ptr_[i + 1] = static_cast<int64_t>(total);
+  }
+  m.col_idx_.reserve(total);
+  m.values_.reserve(total);
+  for (const int64_t r : rows) {
+    const auto begin = static_cast<size_t>(row_ptr_[static_cast<size_t>(r)]);
+    const auto end = static_cast<size_t>(row_ptr_[static_cast<size_t>(r) + 1]);
+    m.col_idx_.insert(m.col_idx_.end(), col_idx_.begin() + begin,
+                      col_idx_.begin() + end);
+    m.values_.insert(m.values_.end(), values_.begin() + begin,
+                     values_.begin() + end);
+  }
+  return m;
+}
+
 CsrMatrix CsrMatrix::WithUniformValues(float v) const {
   CsrMatrix m = *this;
   std::fill(m.values_.begin(), m.values_.end(), v);

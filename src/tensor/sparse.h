@@ -61,6 +61,11 @@ class CsrMatrix {
   /// Returns a copy with all values replaced by `v`.
   CsrMatrix WithUniformValues(float v) const;
 
+  /// Row-sliced copy: result row i is this matrix's row rows[i] (entries and
+  /// in-row ordering preserved exactly). Rows may repeat and appear in any
+  /// order. Used to build per-batch feature matrices for sampled subgraphs.
+  CsrMatrix SelectRows(const std::vector<int64_t>& rows) const;
+
   /// Element lookup (binary search within the row). Zero when absent.
   float At(int64_t r, int64_t c) const;
 

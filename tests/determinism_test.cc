@@ -88,6 +88,71 @@ TEST(DeterminismTest, GraphRareRunIdenticalAcrossRuns) {
   }
 }
 
+// Mini-batch path: sampling, shuffling, and OpenMP-parallel frontier
+// expansion are all seeded per-stream, so two identical configurations
+// must produce identical telemetry and weights regardless of thread count
+// (the CI matrix covers GRAPHRARE_ENABLE_OPENMP=ON builds).
+TEST(DeterminismTest, MiniBatchFitIdenticalAcrossRuns) {
+  data::Dataset ds = Make(9);
+  data::SplitOptions so;
+  so.num_splits = 1;
+  auto splits = data::MakeSplits(ds.labels, ds.num_classes, so);
+
+  auto run_once = [&](core::MiniBatchFitResult* fit_out) {
+    nn::ModelOptions mo;
+    mo.in_features = ds.num_features();
+    mo.hidden = 16;
+    mo.num_classes = ds.num_classes;
+    mo.seed = 21;
+    auto model = nn::MakeModel(nn::BackboneKind::kSage, mo);
+    nn::MiniBatchTrainer::Options to;
+    to.seed = 21;
+    nn::MiniBatchTrainer trainer(model.get(), ds.FeaturesCsr(), &ds.labels,
+                                 to);
+    core::MiniBatchOptions mb;
+    mb.sampler.fanouts = {4, 4};
+    mb.sampler.seed = 13;
+    mb.batch_size = 16;
+    mb.max_epochs = 8;
+    mb.patience = 8;
+    *fit_out = core::FitMiniBatch(&trainer, ds.graph, splits[0].train,
+                                  splits[0].val, mb, /*seed=*/21);
+    return trainer.EvalLogits(ds.graph);
+  };
+
+  core::MiniBatchFitResult fit_a;
+  core::MiniBatchFitResult fit_b;
+  const tensor::Tensor logits_a = run_once(&fit_a);
+  const tensor::Tensor logits_b = run_once(&fit_b);
+
+  EXPECT_TRUE(logits_a.AllClose(logits_b, 0.0f, 0.0f));
+  EXPECT_EQ(fit_a.epochs_run, fit_b.epochs_run);
+  EXPECT_EQ(fit_a.batches_run, fit_b.batches_run);
+  EXPECT_DOUBLE_EQ(fit_a.best_val_accuracy, fit_b.best_val_accuracy);
+  ASSERT_EQ(fit_a.val_acc_history.size(), fit_b.val_acc_history.size());
+  for (size_t i = 0; i < fit_a.val_acc_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fit_a.val_acc_history[i], fit_b.val_acc_history[i]);
+    EXPECT_DOUBLE_EQ(fit_a.train_acc_history[i], fit_b.train_acc_history[i]);
+    EXPECT_DOUBLE_EQ(fit_a.train_loss_history[i],
+                     fit_b.train_loss_history[i]);
+  }
+}
+
+TEST(DeterminismTest, MiniBatchSamplerSeedChangesBlocks) {
+  data::Dataset ds = Make(10);
+  auto sample_nodes = [&](uint64_t seed) {
+    data::SamplerOptions so;
+    so.fanouts = {2, 2};
+    so.seed = seed;
+    data::NeighborSampler sampler(&ds.graph, so);
+    std::vector<int64_t> seeds;
+    for (int64_t v = 0; v < 30; v += 3) seeds.push_back(v);
+    return sampler.SampleBlock(seeds).nodes;
+  };
+  EXPECT_EQ(sample_nodes(1), sample_nodes(1));
+  EXPECT_NE(sample_nodes(1), sample_nodes(2));
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   data::Dataset ds = Make(8);
   data::SplitOptions so;

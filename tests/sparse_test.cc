@@ -1,8 +1,14 @@
-// CSR matrix tests: construction, SpMM, transpose, sparse-sparse product.
+// CSR matrix tests: construction, SpMM, transpose, sparse-sparse product,
+// row slicing, and gradient checks through the SpMM backward.
 
 #include "tensor/sparse.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
+
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
 
 namespace graphrare {
 namespace tensor {
@@ -109,6 +115,91 @@ TEST(CsrTest, WithUniformValues) {
   CsrMatrix m = SmallMatrix().WithUniformValues(1.0f);
   for (float v : m.values()) EXPECT_EQ(v, 1.0f);
   EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(CsrTest, SelectRowsCopiesRowsInOrder) {
+  CsrMatrix m = SmallMatrix();
+  CsrMatrix s = m.SelectRows({2, 0, 2});
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_EQ(s.nnz(), 5);  // rows 2 (2 entries) + 0 (1) + 2 (2)
+  EXPECT_FLOAT_EQ(s.At(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(s.At(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(s.At(2, 2), 4.0f);
+  EXPECT_EQ(m.SelectRows({}).rows(), 0);
+}
+
+// --- Gradient checks through the SpMM backward (x -> A x). Forward values
+// were already covered; these pin the A^T dY pullback on inputs that stress
+// the COO assembly: non-square shapes and duplicate entries. ---
+
+/// d MeanAll(Square(A x)) / dx must match central differences.
+void ExpectSpMMGradOk(CsrMatrix a, int64_t x_cols) {
+  auto shared = std::make_shared<const CsrMatrix>(std::move(a));
+  Rng rng(31);
+  std::vector<Variable> inputs = {
+      Variable(Tensor::Randn(shared->cols(), x_cols, &rng),
+               /*requires_grad=*/true)};
+  auto f = [shared](const std::vector<Variable>& in) {
+    return ops::MeanAll(ops::Square(ops::SpMM(shared, in[0])));
+  };
+  const GradCheckResult r = CheckGradient(f, &inputs, 0);
+  EXPECT_TRUE(r.ok) << "max_abs_err=" << r.max_abs_err
+                    << " max_rel_err=" << r.max_rel_err << " at flat index "
+                    << r.worst_index;
+}
+
+TEST(CsrGradTest, SpMMBackwardNonSquareTall) {
+  // 4x2: more rows than columns.
+  ExpectSpMMGradOk(CsrMatrix::FromCoo(4, 2,
+                                      {{0, 0, 1.5f},
+                                       {1, 1, -2.0f},
+                                       {2, 0, 0.5f},
+                                       {3, 1, 3.0f},
+                                       {3, 0, -1.0f}}),
+                   3);
+}
+
+TEST(CsrGradTest, SpMMBackwardNonSquareWide) {
+  // 2x5: more columns than rows, including an all-zero column.
+  ExpectSpMMGradOk(CsrMatrix::FromCoo(2, 5,
+                                      {{0, 4, 2.0f},
+                                       {0, 1, -0.5f},
+                                       {1, 0, 1.0f},
+                                       {1, 3, -3.0f}}),
+                   2);
+}
+
+TEST(CsrGradTest, SpMMBackwardDuplicateEntriesSummed) {
+  // Duplicates (0,1) and (2,0) must act as their sums in both directions.
+  CsrMatrix a = CsrMatrix::FromCoo(3, 2,
+                                   {{0, 1, 1.0f},
+                                    {0, 1, 2.0f},
+                                    {2, 0, -1.0f},
+                                    {2, 0, 0.25f},
+                                    {1, 0, 4.0f}});
+  EXPECT_EQ(a.nnz(), 3);
+  ExpectSpMMGradOk(std::move(a), 2);
+}
+
+TEST(CsrGradTest, SpMMBackwardMatchesDenseMatMulGrad) {
+  // Same loss through SpMM and through the dense MatMul path must produce
+  // the same input gradient.
+  CsrMatrix a = CsrMatrix::FromCoo(
+      3, 4, {{0, 0, 1.0f}, {0, 3, -2.0f}, {1, 1, 0.5f}, {2, 2, 2.0f}});
+  auto shared = std::make_shared<const CsrMatrix>(a);
+  Rng rng(7);
+  const Tensor x0 = Tensor::Randn(4, 3, &rng);
+
+  Variable x_sparse(x0, /*requires_grad=*/true);
+  ops::MeanAll(ops::Square(ops::SpMM(shared, x_sparse))).Backward();
+
+  Variable x_dense(x0, /*requires_grad=*/true);
+  Variable a_const(a.ToDense(), /*requires_grad=*/false);
+  ops::MeanAll(ops::Square(ops::MatMul(a_const, x_dense))).Backward();
+
+  EXPECT_TRUE(x_sparse.grad().AllClose(x_dense.grad(), 1e-6f, 1e-5f));
 }
 
 TEST(CsrDeathTest, OutOfRangeCooAborts) {
