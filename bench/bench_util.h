@@ -10,12 +10,34 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/graphrare.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace graphrare {
 namespace bench {
+
+/// Peak resident set size in MiB (0 when the platform has no getrusage).
+/// Monotonic across the process: read it before running a second,
+/// heavier path or the first path's figure is inflated.
+inline double PeakRssMiB() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// Per-dataset shrink factors for quick mode (1 = full scale). The dense
 /// wiki graphs and Pubmed dominate runtime, so they shrink hardest.
@@ -106,6 +128,85 @@ inline void PrintRow(const std::string& name,
   for (const auto& c : cells) std::printf("%s", PadLeft(c, cell_width).c_str());
   std::printf("\n");
 }
+
+/// Machine-readable bench output: accumulates per-config records and writes
+/// BENCH_<name>.json next to the binary's working directory, so the perf
+/// trajectory (epoch time, peak RSS, accuracy, ...) is tracked across PRs
+/// instead of living only in stdout tables. Format:
+///   {"bench": "<name>", "full_scale": 0|1,
+///    "configs": [{"key": value, ...}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Starts a new config record; subsequent Field calls attach to it.
+  BenchJson& BeginConfig() {
+    configs_.emplace_back();
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, const std::string& value) {
+    return Raw(key, StrFormat("\"%s\"", Escape(value).c_str()));
+  }
+  BenchJson& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  BenchJson& Field(const std::string& key, double value) {
+    return Raw(key, StrFormat("%.6g", value));
+  }
+  BenchJson& Field(const std::string& key, int64_t value) {
+    return Raw(key, StrFormat("%lld", static_cast<long long>(value)));
+  }
+  BenchJson& Field(const std::string& key, int value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+  BenchJson& Field(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  /// Writes BENCH_<name>.json (path printed). Returns false on I/O error.
+  bool Write() const {
+    const std::string path = StrFormat("BENCH_%s.json", name_.c_str());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"full_scale\": %d, \"configs\": [",
+                 Escape(name_).c_str(), core::BenchFullScale() ? 1 : 0);
+    for (size_t c = 0; c < configs_.size(); ++c) {
+      std::fprintf(f, "%s{", c == 0 ? "" : ", ");
+      for (size_t i = 0; i < configs_[c].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     Escape(configs_[c][i].first).c_str(),
+                     configs_[c][i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nmachine-readable results written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  BenchJson& Raw(const std::string& key, std::string json_value) {
+    GR_CHECK(!configs_.empty()) << "BenchJson: Field before BeginConfig";
+    configs_.back().emplace_back(key, std::move(json_value));
+    return *this;
+  }
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> configs_;
+};
 
 }  // namespace bench
 }  // namespace graphrare

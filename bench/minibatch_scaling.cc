@@ -15,28 +15,9 @@
 #include "bench/bench_util.h"
 #include "core/graphrare.h"
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 namespace graphrare {
 namespace bench {
 namespace {
-
-/// Peak resident set size in MiB (0 when the platform has no getrusage).
-double PeakRssMiB() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-#if defined(__APPLE__)
-  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
-#else
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-#endif
-#else
-  return 0.0;
-#endif
-}
 
 data::Dataset MakeScaledDataset(int64_t num_nodes, uint64_t seed) {
   data::GeneratorOptions o;
@@ -151,6 +132,7 @@ int Main() {
 
   PrintRow("nodes", {"path", "s/epoch", "test acc", "peak RSS", "blk nodes"},
            12, 12);
+  BenchJson json("minibatch_scaling");
   double acc_full_10k = -1.0;
   double acc_mini_10k = -1.0;
   for (const int64_t n : sizes) {
@@ -172,6 +154,14 @@ int Main() {
               StrFormat("%lld", static_cast<long long>(
                                     mini.mean_block_nodes))},
              12, 12);
+    json.BeginConfig()
+        .Field("nodes", n)
+        .Field("path", "sampled")
+        .Field("epochs", epochs)
+        .Field("seconds_per_epoch", mini.seconds_per_epoch)
+        .Field("test_accuracy", mini.test_accuracy)
+        .Field("peak_rss_mib", mini.peak_rss_mib)
+        .Field("mean_block_nodes", mini.mean_block_nodes);
     if (n == 10000) acc_mini_10k = mini.test_accuracy;
 
     if (n <= full_graph_max_nodes) {
@@ -180,6 +170,13 @@ int Main() {
                     StrFormat("%.2f%%", 100.0 * full.test_accuracy),
                     StrFormat("%.0f MiB", full.peak_rss_mib), "-"},
                12, 12);
+      json.BeginConfig()
+          .Field("nodes", n)
+          .Field("path", "full")
+          .Field("epochs", epochs)
+          .Field("seconds_per_epoch", full.seconds_per_epoch)
+          .Field("test_accuracy", full.test_accuracy)
+          .Field("peak_rss_mib", full.peak_rss_mib);
       if (n == 10000) acc_full_10k = full.test_accuracy;
     } else {
       PrintRow("", {"full", "skipped", "-", "-", "-"}, 12, 12);
@@ -187,6 +184,10 @@ int Main() {
                   "per-step memory/latency scale with the whole "
                   "adjacency)\n",
                   static_cast<long long>(n));
+      json.BeginConfig()
+          .Field("nodes", n)
+          .Field("path", "full")
+          .Field("skipped", true);
     }
   }
 
@@ -194,6 +195,7 @@ int Main() {
     std::printf("\n10k-node accuracy gap (full - sampled): %.2f points\n",
                 100.0 * (acc_full_10k - acc_mini_10k));
   }
+  json.Write();
   return 0;
 }
 

@@ -7,13 +7,27 @@
 //                 [--k-max=5] [--d-max=5] [--seed=1] [--lr=0.01]
 //                 [--minibatch] [--fanouts=10,10] [--batch-size=256]
 //                 [--epochs=100] [--sample-replace]
+//                 [--rl-blocks=4] [--rl-block-fanouts=10,10]
+//                 [--rl-block-seeds=64] [--rl-steps=4]
 //                 [--telemetry=out.csv] [--save-graph=out.graph]
+//
+// --seed is the single master seed: it fans out to the dataset generator,
+// splits, entropy candidate sampling, PPO, the neighbor sampler, and the
+// env streams through core::DeriveSeeds, so one number pins the whole run.
+//
+// --rare --rl-blocks=B runs block-scoped co-training: each PPO round
+// rewires B neighbor-sampled blocks (SparRL-style) instead of the full
+// graph. --rl-block-fanouts=full uses whole-graph blocks (the B=1 special
+// case reproduces classic --rare env trajectories); -1 entries mean
+// unlimited fanout.
 //
 // Examples:
 //   ./build/examples/graphrare_cli --dataset=texas --backbone=sage --rare
 //   ./build/examples/graphrare_cli --dataset=cora --backbone=appnp
 //   ./build/examples/graphrare_cli --dataset=pubmed --backbone=sage
 //       --minibatch --fanouts=10,10 --batch-size=512
+//   ./build/examples/graphrare_cli --dataset=pubmed --backbone=sage --rare
+//       --rl-blocks=8 --rl-block-fanouts=10,10 --rl-block-seeds=128
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,7 +81,7 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-/// Parses "10,10,5" into a fanout vector.
+/// Parses "10,10,5" into a fanout vector (-1 entries = unlimited fanout).
 std::vector<int64_t> ParseFanouts(const std::string& spec) {
   std::vector<int64_t> fanouts;
   size_t begin = 0;
@@ -75,8 +89,8 @@ std::vector<int64_t> ParseFanouts(const std::string& spec) {
     size_t end = spec.find(',', begin);
     if (end == std::string::npos) end = spec.size();
     const long f = std::atol(spec.substr(begin, end - begin).c_str());
-    if (f < 1) {
-      std::fprintf(stderr, "invalid --fanouts: %s\n", spec.c_str());
+    if (f < 1 && f != -1) {
+      std::fprintf(stderr, "invalid fanout spec: %s\n", spec.c_str());
       std::exit(2);
     }
     fanouts.push_back(f);
@@ -95,6 +109,8 @@ int main(int argc, char** argv) {
   const std::string backbone_name = flags.Get("backbone", "gcn");
   const int num_splits = flags.GetInt("splits", 3);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  // The one master seed: every subsystem seed below derives from it.
+  const core::DerivedSeeds seeds = core::DeriveSeeds(seed);
 
   auto dataset_or = data::MakeDataset(dataset_name, seed);
   if (!dataset_or.ok()) {
@@ -112,7 +128,7 @@ int main(int argc, char** argv) {
 
   data::SplitOptions so;
   so.num_splits = num_splits;
-  so.seed = seed + 100;
+  so.seed = seeds.splits;
   const auto splits = data::MakeSplits(dataset.labels, dataset.num_classes, so);
 
   std::printf("dataset=%s nodes=%lld edges=%lld H=%.3f backbone=%s\n",
@@ -135,7 +151,7 @@ int main(int argc, char** argv) {
     core::MiniBatchOptions mb;
     mb.sampler.fanouts = ParseFanouts(flags.Get("fanouts", "10,10"));
     mb.sampler.replace = flags.GetBool("sample-replace");
-    mb.sampler.seed = seed + 17;
+    mb.sampler.seed = seeds.sampler;
     mb.batch_size = flags.GetInt("batch-size", 256);
     mb.max_epochs = flags.GetInt("epochs", 100);
     mb.patience = flags.GetInt("patience", 20);
@@ -172,6 +188,50 @@ int main(int argc, char** argv) {
   opts.k_max = flags.GetInt("k-max", 5);
   opts.d_max = flags.GetInt("d-max", 5);
   opts.seed = seed;
+
+  const int rl_blocks = flags.GetInt("rl-blocks", 0);
+  if (rl_blocks > 0) {
+    core::BlockRolloutOptions rollout;
+    rollout.blocks_per_round = rl_blocks;
+    const std::string fanout_spec = flags.Get("rl-block-fanouts", "10,10");
+    rollout.fanouts = fanout_spec == "full"
+                          ? std::vector<int64_t>{}
+                          : ParseFanouts(fanout_spec);
+    rollout.seeds_per_block = flags.GetInt("rl-block-seeds", 64);
+    rollout.sample_replace = flags.GetBool("sample-replace");
+    rollout.steps_per_episode = flags.GetInt("rl-steps", 4);
+    const auto agg = core::RunGraphRareBlocks(dataset, splits, opts, rollout);
+    std::printf("block co-training (B=%d, fanouts=%s) test accuracy: "
+                "%.2f%% (±%.2f) over %d splits\n",
+                rl_blocks, fanout_spec.c_str(), 100.0 * agg.accuracy.mean,
+                100.0 * agg.accuracy.stddev, num_splits);
+    std::printf("homophily: %.3f -> %.3f, entropy build %.3fs, "
+                "edges %lld -> %lld\n",
+                agg.mean_initial_homophily, agg.mean_final_homophily,
+                agg.mean_entropy_seconds,
+                static_cast<long long>(agg.last_run.initial_edges),
+                static_cast<long long>(agg.last_run.final_edges));
+    const std::string telemetry_path = flags.Get("telemetry", "");
+    if (!telemetry_path.empty()) {
+      const Status s = core::WriteTelemetryCsv(agg.last_run, telemetry_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("telemetry written to %s\n", telemetry_path.c_str());
+    }
+    const std::string graph_path = flags.Get("save-graph", "");
+    if (!graph_path.empty()) {
+      const Status s = graph::SaveGraph(agg.last_run.best_graph, graph_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "save-graph: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("optimized graph written to %s\n", graph_path.c_str());
+    }
+    return 0;
+  }
+
   const auto agg = core::RunGraphRare(dataset, splits, opts);
   std::printf("test accuracy: %.2f%% (±%.2f) over %d splits\n",
               100.0 * agg.accuracy.mean, 100.0 * agg.accuracy.stddev,

@@ -1,0 +1,323 @@
+#include "core/block_rollout.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "nn/metrics.h"
+#include "core/observation.h"
+#include "core/topology_optimizer.h"
+
+namespace graphrare {
+namespace core {
+
+Status BlockRolloutOptions::Validate() const {
+  if (blocks_per_round < 1) {
+    return Status::InvalidArgument("blocks_per_round must be >= 1");
+  }
+  if (seeds_per_block < 1) {
+    return Status::InvalidArgument("seeds_per_block must be >= 1");
+  }
+  if (steps_per_episode < 1) {
+    return Status::InvalidArgument("steps_per_episode must be >= 1");
+  }
+  for (const int64_t f : fanouts) {
+    if (f < 1 && f != -1) {
+      return Status::InvalidArgument(
+          "every fanout must be >= 1 (or -1 for unlimited)");
+    }
+  }
+  return env.Validate();
+}
+
+// ---- BlockTopologyEnv ------------------------------------------------------
+
+BlockTopologyEnv::BlockTopologyEnv(
+    const data::Dataset* dataset, graph::Subgraph block,
+    const std::vector<int64_t>& sorted_train_global,
+    nn::MiniBatchTrainer* trainer, entropy::RelativeEntropyIndex block_index,
+    const TopologyEnvOptions& options)
+    : dataset_(dataset),
+      trainer_(trainer),
+      options_(options),
+      block_(std::move(block)),
+      index_(std::move(block_index)) {
+  GR_CHECK(dataset != nullptr && trainer != nullptr);
+  GR_CHECK_OK(options_.Validate());
+  GR_CHECK_EQ(index_.num_nodes(), block_.num_nodes());
+
+  // Train view: same nodes and (initially) topology as the block, seeds =
+  // block intersect train, ascending. Both inputs are sorted, so one
+  // two-pointer sweep suffices.
+  view_.nodes = block_.nodes;
+  view_.graph = block_.graph;
+  size_t ti = 0;
+  for (size_t l = 0; l < block_.nodes.size(); ++l) {
+    const int64_t g = block_.nodes[l];
+    while (ti < sorted_train_global.size() && sorted_train_global[ti] < g) {
+      ++ti;
+    }
+    if (ti < sorted_train_global.size() && sorted_train_global[ti] == g) {
+      view_.seed_local.push_back(static_cast<int64_t>(l));
+      view_.seed_global.push_back(g);
+    }
+  }
+  GR_CHECK(!view_.seed_local.empty())
+      << "BlockTopologyEnv: block contains no train nodes";
+
+  if (options_.reward.kind == RewardKind::kAuc) {
+    block_labels_.reserve(block_.nodes.size());
+    for (const int64_t g : block_.nodes) {
+      block_labels_.push_back(dataset_->labels[static_cast<size_t>(g)]);
+    }
+  }
+}
+
+int64_t BlockTopologyEnv::obs_dim() const { return kObservationDim; }
+
+RewardInputs BlockTopologyEnv::Evaluate() {
+  RewardInputs out;
+  const nn::EvalResult eval = trainer_->EvaluateBlock(view_);
+  out.accuracy = eval.accuracy;
+  out.loss = eval.loss;
+  if (options_.reward.kind == RewardKind::kAuc) {
+    out.auc = nn::MacroAucOvr(trainer_->EvalLogitsBlock(view_),
+                              block_labels_, view_.seed_local,
+                              dataset_->num_classes);
+  }
+  return out;
+}
+
+tensor::Tensor BlockTopologyEnv::Reset() {
+  state_ = std::make_unique<TopologyState>(block_.num_nodes(),
+                                           options_.k_max, options_.d_max);
+  view_.graph = block_.graph;
+  last_reward_ = 0.0;
+  prev_ = Evaluate();
+  return BuildObservation(block_.graph, view_.graph, *state_, index_,
+                          last_reward_);
+}
+
+double BlockTopologyEnv::Step(const rl::ActionSample& action,
+                              tensor::Tensor* next_obs) {
+  GR_CHECK(state_ != nullptr) << "Step() before Reset()";
+  GR_CHECK(next_obs != nullptr);
+
+  // S_{t+1} = S_t + A_t, then rebuild the block from its G_0 slice
+  // (Fig. 4, block-local id space throughout).
+  state_->Apply(action);
+  view_.graph = BuildOptimizedGraph(block_.graph, *state_, index_);
+
+  // Finetune on the rewired block's train subset, then measure Eq. 11.
+  for (int e = 0; e < options_.gnn_epochs_per_step; ++e) {
+    trainer_->TrainBatch(view_);
+  }
+  const RewardInputs curr = Evaluate();
+  const double reward = ComputeReward(options_.reward, prev_, curr);
+  prev_ = curr;
+  last_reward_ = reward;
+
+  *next_obs = BuildObservation(block_.graph, view_.graph, *state_, index_,
+                               last_reward_);
+  return reward;
+}
+
+void BlockTopologyEnv::MergeInto(EditMerger* merger) const {
+  GR_CHECK(merger != nullptr);
+  GR_CHECK(state_ != nullptr) << "MergeInto() before Reset()";
+  merger->RecordBlock(block_, *state_, index_);
+}
+
+// ---- BlockRolloutRunner ----------------------------------------------------
+
+BlockRolloutRunner::BlockRolloutRunner(
+    const data::Dataset* dataset, const data::Split* split,
+    nn::MiniBatchTrainer* trainer,
+    const entropy::RelativeEntropyIndex* index,
+    const BlockRolloutOptions& options)
+    : dataset_(dataset),
+      split_(split),
+      trainer_(trainer),
+      index_(index),
+      options_(options),
+      shuffle_rng_(options.seed ^ 0xB10C5EEDULL) {
+  GR_CHECK(dataset != nullptr && split != nullptr && trainer != nullptr &&
+           index != nullptr);
+  GR_CHECK_OK(options_.Validate());
+  GR_CHECK_EQ(index->num_nodes(), dataset->num_nodes());
+  GR_CHECK(!split->train.empty());
+  if (!options_.fanouts.empty()) {
+    data::SamplerOptions so;
+    so.fanouts = options_.fanouts;
+    so.replace = options_.sample_replace;
+    so.seed = options_.seed;
+    sampler_ = std::make_unique<data::NeighborSampler>(&dataset->graph, so);
+  }
+}
+
+std::vector<std::vector<int64_t>> BlockRolloutRunner::NextSeedBatches() {
+  std::vector<std::vector<int64_t>> out;
+  out.reserve(static_cast<size_t>(options_.blocks_per_round));
+  while (static_cast<int>(out.size()) < options_.blocks_per_round) {
+    if (pending_batches_.empty()) {
+      pending_batches_ = data::NeighborSampler::MakeBatches(
+          split_->train, options_.seeds_per_block, /*shuffle=*/true,
+          &shuffle_rng_);
+      // Popping from the back keeps NextSeedBatches O(1) per batch while
+      // preserving the shuffled epoch order.
+      std::reverse(pending_batches_.begin(), pending_batches_.end());
+    }
+    out.push_back(std::move(pending_batches_.back()));
+    pending_batches_.pop_back();
+  }
+  return out;
+}
+
+BlockRolloutRunner::RoundStats BlockRolloutRunner::RunRound(
+    rl::PpoAgent* agent) {
+  GR_CHECK(agent != nullptr);
+  const std::vector<std::vector<int64_t>> batches = NextSeedBatches();
+
+  RoundStats stats;
+  std::vector<std::unique_ptr<BlockTopologyEnv>> envs;
+  envs.reserve(batches.size());
+  for (const auto& batch : batches) {
+    graph::Subgraph block = options_.fanouts.empty()
+                                ? graph::FullSubgraph(dataset_->graph, batch)
+                                : sampler_->SampleBlock(batch);
+    stats.block_nodes += block.num_nodes();
+    entropy::RelativeEntropyIndex block_index = index_->Restrict(block);
+    envs.push_back(std::make_unique<BlockTopologyEnv>(
+        dataset_, std::move(block), split_->train, trainer_,
+        std::move(block_index), options_.env));
+  }
+
+  std::vector<rl::Env*> raw;
+  raw.reserve(envs.size());
+  for (const auto& e : envs) raw.push_back(e.get());
+  const std::vector<double> rewards =
+      rl::RunAgentOnBatchedEnvs(agent, raw, options_.steps_per_episode);
+
+  // Block order = sampling order: the merge is deterministic per round.
+  for (const auto& e : envs) e->MergeInto(&merger_);
+
+  stats.num_blocks = static_cast<int>(envs.size());
+  stats.env_steps = static_cast<int64_t>(rewards.size());
+  double sum = 0.0;
+  for (const double r : rewards) sum += r;
+  stats.mean_reward =
+      rewards.empty() ? 0.0 : sum / static_cast<double>(rewards.size());
+  return stats;
+}
+
+// ---- RunBlockCoTraining ----------------------------------------------------
+
+BlockCoTrainResult RunBlockCoTraining(const data::Dataset& dataset,
+                                      const data::Split& split,
+                                      const GraphRareOptions& options,
+                                      const BlockRolloutOptions& rollout_in) {
+  GR_CHECK_OK(options.Validate());
+  const DerivedSeeds seeds = DeriveSeeds(options.seed);
+  Rng run_rng(seeds.run);
+
+  BlockCoTrainResult result;
+  result.initial_edges = dataset.graph.num_edges();
+
+  // Entropy index on G_0, computed once (Algorithm 1, lines 1-6).
+  Stopwatch entropy_watch;
+  entropy::EntropyOptions entropy_opts = options.entropy;
+  entropy_opts.seed = seeds.entropy;
+  auto index_or = entropy::RelativeEntropyIndex::Build(
+      dataset.graph, dataset.features, entropy_opts);
+  GR_CHECK(index_or.ok()) << index_or.status().ToString();
+  entropy::RelativeEntropyIndex index = std::move(index_or).value();
+  if (options.sequence_mode == SequenceMode::kShuffled) {
+    index.ShuffleSequences(&run_rng);
+  }
+  result.entropy_build_seconds = entropy_watch.ElapsedSeconds();
+
+  Stopwatch train_watch;
+  nn::ModelOptions model_opts;
+  model_opts.in_features = dataset.num_features();
+  model_opts.hidden = options.hidden;
+  model_opts.num_classes = dataset.num_classes;
+  model_opts.num_layers = options.num_layers;
+  model_opts.dropout = options.dropout;
+  model_opts.gat_heads = options.gat_heads;
+  model_opts.seed = options.seed;
+  auto model = nn::MakeModel(options.backbone, model_opts);
+
+  nn::MiniBatchTrainer::Options trainer_opts;
+  trainer_opts.adam = options.adam;
+  trainer_opts.seed = options.seed;
+  nn::MiniBatchTrainer trainer(model.get(), dataset.FeaturesCsr(),
+                               &dataset.labels, trainer_opts);
+
+  // One GraphRareOptions + one master seed configures both co-training
+  // paths: the MDP knobs and subsystem seeds override the rollout config.
+  BlockRolloutOptions rollout = rollout_in;
+  rollout.seed = seeds.sampler;
+  rollout.env.k_max = options.k_max;
+  rollout.env.d_max = options.d_max;
+  rollout.env.reward = options.reward;
+  rollout.env.entropy = entropy_opts;
+  rollout.env.seed = seeds.env;
+  GR_CHECK_OK(rollout.Validate());
+
+  // Mini-batch pretraining on G_0 so reward deltas are informative. In
+  // full-graph mode (empty fanouts) pretraining samples unlimited-fanout
+  // blocks: L+1 layers make every aggregation degree exact.
+  if (options.pretrain_epochs > 0) {
+    MiniBatchOptions pre;
+    pre.sampler.fanouts =
+        rollout.fanouts.empty()
+            ? std::vector<int64_t>(
+                  static_cast<size_t>(options.num_layers + 1), -1)
+            : rollout.fanouts;
+    pre.sampler.replace = rollout.sample_replace;
+    pre.sampler.seed = seeds.sampler ^ 0x9E37ULL;
+    pre.batch_size = rollout.seeds_per_block;
+    pre.max_epochs = options.pretrain_epochs;
+    pre.patience = std::max(1, options.pretrain_patience);
+    FitMiniBatch(&trainer, dataset.graph, split.train, split.val, pre,
+                 seeds.shuffle);
+  }
+
+  rl::PpoOptions ppo_opts = options.ppo;
+  ppo_opts.seed = seeds.ppo;
+  rl::PpoAgent agent(kObservationDim, ppo_opts);
+
+  BlockRolloutRunner runner(&dataset, &split, &trainer, &index, rollout);
+
+  std::vector<tensor::Tensor> best_weights = trainer.SaveWeights();
+  result.best_graph = dataset.graph;
+  double best_val = trainer.Evaluate(dataset.graph, split.val).accuracy;
+  result.best_val_accuracy = best_val;
+
+  for (int t = 0; t < options.iterations; ++t) {
+    const BlockRolloutRunner::RoundStats stats = runner.RunRound(&agent);
+    result.env_steps += stats.env_steps;
+    result.reward_history.push_back(stats.mean_reward);
+
+    // Model/graph selection on full-graph validation accuracy over the
+    // merged topology (Sec. V-C protocol, merged across blocks).
+    graph::Graph merged = runner.MergedGraph();
+    const double val = trainer.Evaluate(merged, split.val).accuracy;
+    result.val_acc_history.push_back(val);
+    if (val > best_val) {
+      best_val = val;
+      best_weights = trainer.SaveWeights();
+      result.best_graph = std::move(merged);
+    }
+  }
+
+  trainer.LoadWeights(best_weights);
+  result.best_val_accuracy = best_val;
+  result.test_accuracy =
+      trainer.Evaluate(result.best_graph, split.test).accuracy;
+  result.final_edges = result.best_graph.num_edges();
+  result.train_seconds = train_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,48 @@
+#include "core/edit_merger.h"
+
+namespace graphrare {
+namespace core {
+
+void EditMerger::Record(int64_t global_v, NodeEdits edits) {
+  edits_[global_v] = std::move(edits);
+}
+
+void EditMerger::RecordBlock(const graph::Subgraph& block,
+                             const TopologyState& state,
+                             const entropy::RelativeEntropyIndex& block_index,
+                             const TopologyOptimizerOptions& options) {
+  GR_CHECK_EQ(block.num_nodes(), state.num_nodes());
+  GR_CHECK_EQ(block.num_nodes(), block_index.num_nodes());
+  for (int64_t local = 0; local < block.num_nodes(); ++local) {
+    NodeEdits edits = EditsForNode(local, state, block_index, options);
+    for (int64_t& t : edits.add) t = block.nodes[static_cast<size_t>(t)];
+    for (int64_t& t : edits.remove) t = block.nodes[static_cast<size_t>(t)];
+    Record(block.nodes[static_cast<size_t>(local)], std::move(edits));
+  }
+}
+
+int64_t EditMerger::num_pending_additions() const {
+  int64_t n = 0;
+  for (const auto& [v, e] : edits_) n += static_cast<int64_t>(e.add.size());
+  return n;
+}
+
+int64_t EditMerger::num_pending_removals() const {
+  int64_t n = 0;
+  for (const auto& [v, e] : edits_) n += static_cast<int64_t>(e.remove.size());
+  return n;
+}
+
+graph::Graph EditMerger::Merge(const graph::Graph& original) const {
+  graph::GraphEditor editor(&original);
+  for (const auto& [v, edits] : edits_) {
+    GR_CHECK(v >= 0 && v < original.num_nodes())
+        << "EditMerger: recorded node outside the base graph";
+    for (const int64_t u : edits.add) editor.AddEdge(v, u);
+    for (const int64_t u : edits.remove) editor.RemoveEdge(v, u);
+  }
+  return editor.Build();
+}
+
+}  // namespace core
+}  // namespace graphrare

@@ -1,0 +1,62 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Merges block-local topology edits back into the global graph. Each
+// rollout block ends its episode with a per-node edit list in block-local
+// id space (core/topology_optimizer.h); the merger remaps those to global
+// ids and resolves overlaps between blocks with last-writer-wins per
+// *source node*: when two blocks both contain node v, the block recorded
+// later owns v's entire edit slice (its k_v additions and d_v removals
+// replace the earlier block's). With the blocks of one rollout round
+// recorded in their sampling order, the merged graph is a deterministic
+// function of the round — and blocks over disjoint node sets merge to the
+// same graph in any order.
+
+#ifndef GRAPHRARE_CORE_EDIT_MERGER_H_
+#define GRAPHRARE_CORE_EDIT_MERGER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "graph/subgraph.h"
+#include "core/topology_optimizer.h"
+
+namespace graphrare {
+namespace core {
+
+/// Accumulates per-node edit lists (global id space) and materialises the
+/// merged graph against a base graph.
+class EditMerger {
+ public:
+  /// Records node `global_v`'s edits (targets already in global ids),
+  /// replacing any earlier record for the same node (last writer wins).
+  /// Empty edits still claim ownership: a later block that chose
+  /// (k_v, d_v) = (0, 0) erases an earlier block's edits for v.
+  void Record(int64_t global_v, NodeEdits edits);
+
+  /// Records every node of `block` from a block-local state and index
+  /// (targets are remapped local -> global through block.nodes).
+  void RecordBlock(const graph::Subgraph& block, const TopologyState& state,
+                   const entropy::RelativeEntropyIndex& block_index,
+                   const TopologyOptimizerOptions& options = {});
+
+  int64_t num_nodes_recorded() const {
+    return static_cast<int64_t>(edits_.size());
+  }
+  int64_t num_pending_additions() const;
+  int64_t num_pending_removals() const;
+
+  /// Applies all recorded edits to `original` (ascending node order, so the
+  /// result is independent of container iteration quirks). Removals win
+  /// over additions of the same edge, as in graph::GraphEditor.
+  graph::Graph Merge(const graph::Graph& original) const;
+
+  void Clear() { edits_.clear(); }
+
+ private:
+  std::map<int64_t, NodeEdits> edits_;
+};
+
+}  // namespace core
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_CORE_EDIT_MERGER_H_

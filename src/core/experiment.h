@@ -15,6 +15,7 @@
 
 #include "data/registry.h"
 #include "data/splits.h"
+#include "core/block_rollout.h"
 #include "core/rewiring_baselines.h"
 #include "core/trainer.h"
 
@@ -101,6 +102,16 @@ struct GraphRareAggregate {
 GraphRareAggregate RunGraphRare(const data::Dataset& dataset,
                                 const std::vector<data::Split>& splits,
                                 const GraphRareOptions& options);
+
+/// Runs block-scoped GraphRARE co-training (core/block_rollout.h) on every
+/// split, with the same per-split seed derivation as RunGraphRare so the
+/// two paths are directly comparable. `rollout` carries the block
+/// scheduler knobs; its MDP/env fields are overridden per split from
+/// `options` (see RunBlockCoTraining).
+GraphRareAggregate RunGraphRareBlocks(const data::Dataset& dataset,
+                                      const std::vector<data::Split>& splits,
+                                      const GraphRareOptions& options,
+                                      const BlockRolloutOptions& rollout);
 
 /// Quick-mode helpers for the bench binaries: GRARE_BENCH_FULL=1 restores
 /// the paper-scale protocol; otherwise sizes are reduced so the whole bench

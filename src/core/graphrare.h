@@ -38,10 +38,13 @@
 #include "rl/env.h"
 #include "rl/ppo.h"
 #include "tensor/ops.h"
+#include "core/block_rollout.h"
+#include "core/edit_merger.h"
 #include "core/experiment.h"
 #include "core/observation.h"
 #include "core/reward.h"
 #include "core/rewiring_baselines.h"
+#include "core/topology_env.h"
 #include "core/topology_optimizer.h"
 #include "core/topology_state.h"
 #include "core/trainer.h"

@@ -18,7 +18,10 @@ namespace core {
 /// Number of per-node observation features.
 inline constexpr int64_t kObservationDim = 8;
 
-/// Builds the (N x kObservationDim) observation matrix:
+/// Builds the (N x kObservationDim) observation matrix. Id-space-agnostic:
+/// `original`, `current`, `state`, and `index` only need to agree on one
+/// node-id space — the full graph, or a sampled block's local space (with
+/// `index` a RelativeEntropyIndex::Restrict view). Rows:
 ///   0: degree in G_0 / max degree in G_0
 ///   1: k_v / k_max
 ///   2: d_v / d_max

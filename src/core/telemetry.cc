@@ -1,5 +1,6 @@
 #include "core/telemetry.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -11,18 +12,22 @@ namespace core {
 std::string TelemetryCsvString(const GraphRareResult& result) {
   std::ostringstream out;
   out << "iteration,train_accuracy,val_accuracy,homophily,reward\n";
-  const size_t n = result.train_acc_history.size();
+  // Row count follows the longest history: the block-rollout path fills
+  // only reward/val (no per-iteration train accuracy), the full-graph
+  // path fills all four.
+  const size_t n = std::max(
+      std::max(result.train_acc_history.size(),
+               result.val_acc_history.size()),
+      std::max(result.homophily_history.size(),
+               result.reward_history.size()));
+  const auto at = [](const std::vector<double>& h, size_t i) {
+    return i < h.size() ? h[i] : 0.0;
+  };
   for (size_t i = 0; i < n; ++i) {
-    const double val = i < result.val_acc_history.size()
-                           ? result.val_acc_history[i]
-                           : 0.0;
-    const double hom = i < result.homophily_history.size()
-                           ? result.homophily_history[i]
-                           : 0.0;
-    const double rew =
-        i < result.reward_history.size() ? result.reward_history[i] : 0.0;
-    out << i << "," << result.train_acc_history[i] << "," << val << ","
-        << hom << "," << rew << "\n";
+    out << i << "," << at(result.train_acc_history, i) << ","
+        << at(result.val_acc_history, i) << ","
+        << at(result.homophily_history, i) << ","
+        << at(result.reward_history, i) << "\n";
   }
   return out.str();
 }

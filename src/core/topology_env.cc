@@ -6,6 +6,19 @@
 namespace graphrare {
 namespace core {
 
+Status TopologyEnvOptions::Validate() const {
+  if (k_max < 0 || d_max < 0) {
+    return Status::InvalidArgument("k_max/d_max must be non-negative");
+  }
+  if (gnn_epochs_per_step < 0) {
+    return Status::InvalidArgument("gnn_epochs_per_step must be >= 0");
+  }
+  if (reward.lambda_r < 0.0) {
+    return Status::InvalidArgument("reward lambda_r must be non-negative");
+  }
+  return entropy.Validate();
+}
+
 TopologyEnv::TopologyEnv(const data::Dataset* dataset,
                          const data::Split* split,
                          nn::ClassifierTrainer* trainer,
@@ -19,6 +32,7 @@ TopologyEnv::TopologyEnv(const data::Dataset* dataset,
       current_(dataset->graph) {
   GR_CHECK(dataset != nullptr && split != nullptr && trainer != nullptr &&
            index != nullptr);
+  GR_CHECK_OK(options_.Validate());
   GR_CHECK_EQ(index->num_nodes(), dataset->num_nodes());
 }
 

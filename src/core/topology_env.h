@@ -33,6 +33,11 @@ struct TopologyEnvOptions {
   RewardOptions reward;
   entropy::EntropyOptions entropy;
   uint64_t seed = 1;
+
+  /// Rejects k_max/d_max < 0, negative epoch counts, lambda_r < 0, and
+  /// invalid entropy options (lambda < 0, ...) with a Status instead of
+  /// letting a bad configuration crash mid-episode.
+  Status Validate() const;
 };
 
 /// One episode = one topology-optimization trajectory from G_0.

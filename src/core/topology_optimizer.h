@@ -4,9 +4,17 @@
 // the *original* graph G_0 and the absolute state S_{t+1} — for each node v,
 // connect the top-k_v entries of its remote entropy sequence and drop the
 // first d_v entries of its (ascending) neighbour sequence.
+//
+// The per-node edit computation is id-space-agnostic: it only reads the
+// state and the entropy index, so the same code serves the full graph and a
+// block-local (graph::Subgraph-scoped) index produced by
+// RelativeEntropyIndex::Restrict. Block edits are merged back into the
+// global graph through core::EditMerger.
 
 #ifndef GRAPHRARE_CORE_TOPOLOGY_OPTIMIZER_H_
 #define GRAPHRARE_CORE_TOPOLOGY_OPTIMIZER_H_
+
+#include <vector>
 
 #include "entropy/relative_entropy.h"
 #include "graph/graph_editor.h"
@@ -22,7 +30,32 @@ struct TopologyOptimizerOptions {
   bool enable_remove = true;
 };
 
-/// Materialises the optimized graph for a state. Deterministic.
+/// Edge edits contributed by one node: targets of additions (prefix of the
+/// node's remote sequence) and removals (prefix of its neighbour sequence),
+/// in whatever id space the producing index lives in.
+struct NodeEdits {
+  std::vector<int64_t> add;
+  std::vector<int64_t> remove;
+
+  bool empty() const { return add.empty() && remove.empty(); }
+};
+
+/// Edits node `v` contributes under `state` (Fig. 4, one node's slice).
+/// `v`, the state, and the index must share one id space.
+NodeEdits EditsForNode(int64_t v, const TopologyState& state,
+                       const entropy::RelativeEntropyIndex& index,
+                       const TopologyOptimizerOptions& options = {});
+
+/// Same, writing into a caller-owned buffer (cleared first) so per-node
+/// loops over the whole graph stay allocation-free after warm-up.
+void AppendEditsForNode(int64_t v, const TopologyState& state,
+                        const entropy::RelativeEntropyIndex& index,
+                        const TopologyOptimizerOptions& options,
+                        NodeEdits* out);
+
+/// Materialises the optimized graph for a state. Deterministic. `original`,
+/// `state`, and `index` must share one id space (the full graph, or a
+/// block's local space).
 graph::Graph BuildOptimizedGraph(const graph::Graph& original,
                                  const TopologyState& state,
                                  const entropy::RelativeEntropyIndex& index,

@@ -38,6 +38,21 @@ Status GraphRareOptions::Validate() const {
   return Status::OK();
 }
 
+DerivedSeeds DeriveSeeds(uint64_t master) {
+  DerivedSeeds s;
+  // The entropy/ppo/run formulas predate this helper; they are kept
+  // verbatim so existing trajectories (benches, determinism tests) are
+  // unchanged.
+  s.entropy = master * 977 + 11;
+  s.ppo = master * 31 + 7;
+  s.run = master * 0x51D4ULL + 3;
+  s.sampler = master * 131 + 17;
+  s.env = master * 53 + 29;
+  s.shuffle = master * 7 + 3;
+  s.splits = master + 100;
+  return s;
+}
+
 Status MiniBatchOptions::Validate() const {
   if (batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
@@ -126,7 +141,8 @@ RewardInputs GraphRareTrainer::EvaluateForReward(
 GraphRareResult GraphRareTrainer::Run(const data::Split& split) {
   const graph::Graph& g0 = dataset_->graph;
   const int64_t n = g0.num_nodes();
-  Rng run_rng(options_.seed * 0x51D4ULL + 3);
+  const DerivedSeeds seeds = DeriveSeeds(options_.seed);
+  Rng run_rng(seeds.run);
 
   GraphRareResult result;
   result.initial_homophily = g0.EdgeHomophily(dataset_->labels);
@@ -135,7 +151,7 @@ GraphRareResult GraphRareTrainer::Run(const data::Split& split) {
   // --- Node relative entropy, computed once (Algorithm 1, lines 1-6). ---
   Stopwatch entropy_watch;
   entropy::EntropyOptions entropy_opts = options_.entropy;
-  entropy_opts.seed = options_.seed * 977 + 11;
+  entropy_opts.seed = seeds.entropy;
   auto index_result =
       entropy::RelativeEntropyIndex::Build(g0, dataset_->features,
                                            entropy_opts);
@@ -178,7 +194,7 @@ GraphRareResult GraphRareTrainer::Run(const data::Split& split) {
   std::unique_ptr<rl::PpoAgent> agent;
   if (options_.policy_mode == PolicyMode::kDrl) {
     rl::PpoOptions ppo_opts = options_.ppo;
-    ppo_opts.seed = options_.seed * 31 + 7;
+    ppo_opts.seed = seeds.ppo;
     agent = std::make_unique<rl::PpoAgent>(kObservationDim, ppo_opts);
   }
   TopologyOptimizerOptions topo_opts;

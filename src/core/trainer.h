@@ -77,6 +77,23 @@ struct GraphRareOptions {
   Status Validate() const;
 };
 
+/// Subsystem seeds fanned out from one master seed. GraphRareTrainer::Run,
+/// the block-rollout co-training path, and the CLI's --seed flag all derive
+/// through here, so every stochastic subsystem (entropy candidate sampling,
+/// PPO init, neighbor sampler, env, epoch shuffling, splits) is pinned by a
+/// single number instead of each defaulting its own seed independently.
+struct DerivedSeeds {
+  uint64_t entropy;
+  uint64_t ppo;
+  uint64_t sampler;
+  uint64_t env;
+  uint64_t shuffle;
+  uint64_t splits;
+  uint64_t run;  ///< trainer-internal rng (random policy mode, ablations)
+};
+
+DerivedSeeds DeriveSeeds(uint64_t master);
+
 /// Everything a run reports (feeds Tables III-VI and Figs. 5-7).
 struct GraphRareResult {
   double test_accuracy = 0.0;

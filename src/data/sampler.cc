@@ -31,7 +31,10 @@ Status SamplerOptions::Validate() const {
     return Status::InvalidArgument("fanouts must have at least one layer");
   }
   for (const int64_t f : fanouts) {
-    if (f < 1) return Status::InvalidArgument("every fanout must be >= 1");
+    if (f < 1 && f != -1) {
+      return Status::InvalidArgument(
+          "every fanout must be >= 1 (or -1 for unlimited)");
+    }
   }
   return Status::OK();
 }
@@ -49,10 +52,11 @@ std::vector<int64_t> NeighborSampler::SampleNeighbors(const graph::Graph& g,
                                                       bool replace,
                                                       Rng* rng) {
   GR_CHECK(rng != nullptr);
-  GR_CHECK_GE(fanout, 1);
+  GR_CHECK(fanout >= 1 || fanout == -1);
   const int64_t deg = g.Degree(v);
   if (deg == 0) return {};
   const int64_t* begin = g.NeighborsBegin(v);
+  if (fanout == -1) return std::vector<int64_t>(begin, begin + deg);
   if (replace) {
     std::vector<int64_t> out;
     out.reserve(static_cast<size_t>(fanout));

@@ -29,9 +29,10 @@ namespace data {
 struct SamplerOptions {
   /// Per-layer fanout caps, ordered from the seed layer outward. Layer l
   /// samples at most fanouts[l] neighbors of each frontier node. A fanout
-  /// >= the maximum degree keeps every neighbor. For exact full-fanout
-  /// equivalence with a full-graph step of an L-layer model, use L entries
-  /// for row-normalised aggregators (SAGE) and L+1 for symmetric GCN
+  /// >= the maximum degree keeps every neighbor; -1 means unlimited (every
+  /// neighbor kept, no RNG draws). For exact full-fanout equivalence with
+  /// a full-graph step of an L-layer model, use L entries for
+  /// row-normalised aggregators (SAGE) and L+1 for symmetric GCN
   /// normalisation (boundary degrees must be exact; see
   /// tests/minibatch_test.cc).
   std::vector<int64_t> fanouts = {10, 10};
@@ -67,7 +68,8 @@ class NeighborSampler {
   const SamplerOptions& options() const { return options_; }
 
   /// Samples at most `fanout` neighbors of `v` (see SamplerOptions::replace
-  /// for the two modes). Public so tests can pin down per-node behavior.
+  /// for the two modes; fanout == -1 keeps every neighbor). Public so tests
+  /// can pin down per-node behavior.
   static std::vector<int64_t> SampleNeighbors(const graph::Graph& g,
                                               int64_t v, int64_t fanout,
                                               bool replace, Rng* rng);

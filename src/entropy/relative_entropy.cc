@@ -157,6 +157,31 @@ int64_t RelativeEntropyIndex::MaxRemoteLength() const {
   return mx;
 }
 
+RelativeEntropyIndex RelativeEntropyIndex::Restrict(
+    const graph::Subgraph& block) const {
+  RelativeEntropyIndex out;
+  out.lambda_ = lambda_;
+  out.sequences_.resize(block.nodes.size());
+  for (size_t l = 0; l < block.nodes.size(); ++l) {
+    const int64_t global = block.nodes[l];
+    GR_CHECK(global >= 0 && global < num_nodes())
+        << "Restrict: block node outside the indexed graph";
+    const NodeSequences& src = sequences_[static_cast<size_t>(global)];
+    NodeSequences& dst = out.sequences_[l];
+    dst.remote.reserve(src.remote.size());
+    for (const ScoredNode& s : src.remote) {
+      const int64_t local = block.GlobalToLocal(s.node);
+      if (local >= 0) dst.remote.push_back({local, s.entropy});
+    }
+    dst.neighbors.reserve(src.neighbors.size());
+    for (const ScoredNode& s : src.neighbors) {
+      const int64_t local = block.GlobalToLocal(s.node);
+      if (local >= 0) dst.neighbors.push_back({local, s.entropy});
+    }
+  }
+  return out;
+}
+
 void RelativeEntropyIndex::ShuffleSequences(Rng* rng) {
   GR_CHECK(rng != nullptr);
   for (auto& s : sequences_) {

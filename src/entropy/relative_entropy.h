@@ -20,6 +20,7 @@
 #include "entropy/feature_entropy.h"
 #include "entropy/structural_entropy.h"
 #include "graph/graph.h"
+#include "graph/subgraph.h"
 
 namespace graphrare {
 namespace entropy {
@@ -80,6 +81,15 @@ class RelativeEntropyIndex {
   /// In-place shuffle of every sequence (the "GraphRARE without relative
   /// entropy" ablation, Table V row GCN-RA).
   void ShuffleSequences(Rng* rng);
+
+  /// Block-scoped view: remaps every sequence into the block's local id
+  /// space, dropping candidates outside the block. No entropies are
+  /// recomputed, and the relative order of each sequence is preserved
+  /// (the local<->global map is monotone, so even equal-entropy ties keep
+  /// their node-id tie-break order). An identity block (nodes 0..N-1)
+  /// reproduces this index exactly, which is what makes the full-graph
+  /// topology env the B=1/full-fanout special case of the block env.
+  RelativeEntropyIndex Restrict(const graph::Subgraph& block) const;
 
  private:
   std::vector<NodeSequences> sequences_;

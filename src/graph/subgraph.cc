@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -68,6 +69,24 @@ Result<Subgraph> InducedSubgraph(const Graph& g, std::vector<int64_t> nodes,
   GR_ASSIGN_OR_RETURN(
       sub.graph,
       Graph::FromEdgeList(static_cast<int64_t>(sub.nodes.size()), edges));
+  return sub;
+}
+
+Subgraph FullSubgraph(const Graph& g, const std::vector<int64_t>& seeds) {
+  Subgraph sub;
+  sub.nodes.resize(static_cast<size_t>(g.num_nodes()));
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    sub.nodes[static_cast<size_t>(v)] = v;
+  }
+  sub.graph = g;  // identity map: the induced graph IS the graph
+  sub.seed_local.reserve(seeds.size());
+  sub.seed_global.reserve(seeds.size());
+  for (const int64_t s : seeds) {
+    GR_CHECK(s >= 0 && s < g.num_nodes())
+        << "FullSubgraph: seed " << s << " out of range";
+    sub.seed_local.push_back(s);
+    sub.seed_global.push_back(s);
+  }
   return sub;
 }
 

@@ -54,6 +54,13 @@ struct Subgraph {
 Result<Subgraph> InducedSubgraph(const Graph& g, std::vector<int64_t> nodes,
                                  const std::vector<int64_t>& seeds);
 
+/// The trivial "block": every node of `g`, identity local<->global map,
+/// identical canonical edge list. This is what a neighbor-sampled block
+/// degenerates to at unlimited fanout, so full-graph pipelines are the
+/// B=1 special case of block-scoped ones (see core/block_rollout.h).
+/// `seeds` must be in range and duplicate-free.
+Subgraph FullSubgraph(const Graph& g, const std::vector<int64_t>& seeds);
+
 }  // namespace graph
 }  // namespace graphrare
 

@@ -31,6 +31,22 @@ std::vector<int64_t> SubsetLabels(const std::vector<int64_t>& labels,
   return out;
 }
 
+/// Loss/accuracy over a block's seed nodes, from already-computed block
+/// logits. Seed labels are scattered into local-row terms so the shared
+/// Accuracy metric applies unchanged.
+EvalResult BlockSeedMetrics(const tensor::Tensor& logits, double loss,
+                            const graph::Subgraph& block,
+                            const std::vector<int64_t>& seed_labels) {
+  EvalResult result;
+  result.loss = loss;
+  std::vector<int64_t> local_labels(block.nodes.size(), 0);
+  for (size_t i = 0; i < block.seed_local.size(); ++i) {
+    local_labels[static_cast<size_t>(block.seed_local[i])] = seed_labels[i];
+  }
+  result.accuracy = Accuracy(logits, local_labels, block.seed_local);
+  return result;
+}
+
 }  // namespace
 
 EvalResult ClassifierTrainer::TrainEpoch(
@@ -130,20 +146,29 @@ EvalResult MiniBatchTrainer::TrainBatch(const graph::Subgraph& block) {
   loss.Backward();
   optimizer()->Step();
 
-  EvalResult result;
-  result.loss = loss.value().scalar();
-  // Seed labels in local-row terms so the shared metric applies unchanged.
-  std::vector<int64_t> local_labels(block.nodes.size(), 0);
-  for (size_t i = 0; i < block.seed_local.size(); ++i) {
-    local_labels[static_cast<size_t>(block.seed_local[i])] = y[i];
-  }
-  result.accuracy = Accuracy(logits.value(), local_labels, block.seed_local);
-  return result;
+  return BlockSeedMetrics(logits.value(), loss.value().scalar(), block, y);
 }
 
 EvalResult MiniBatchTrainer::Evaluate(const graph::Graph& g,
                                       const std::vector<int64_t>& idx) {
   return full_.Evaluate(g, idx);
+}
+
+EvalResult MiniBatchTrainer::EvaluateBlock(const graph::Subgraph& block) {
+  GR_CHECK_GT(block.num_seeds(), 0);
+  Variable logits(EvalLogitsBlock(block), /*requires_grad=*/false);
+  const std::vector<int64_t> y = SubsetLabels(*labels_, block.seed_global);
+  Variable loss = ops::CrossEntropy(logits, block.seed_local, y);
+  return BlockSeedMetrics(logits.value(), loss.value().scalar(), block, y);
+}
+
+tensor::Tensor MiniBatchTrainer::EvalLogitsBlock(const graph::Subgraph& block) {
+  auto local_features = std::make_shared<tensor::CsrMatrix>(
+      block.LocalRows(*features_));
+  ModelInputs inputs;
+  inputs.graph = &block.graph;
+  inputs.features = LayerInput::Sparse(std::move(local_features));
+  return model()->Logits(inputs, /*training=*/false, nullptr).value();
 }
 
 tensor::Tensor MiniBatchTrainer::EvalLogits(const graph::Graph& g) {

@@ -111,6 +111,16 @@ class MiniBatchTrainer {
   /// Full logits in eval mode on the full graph.
   tensor::Tensor EvalLogits(const graph::Graph& g);
 
+  /// Block-scoped evaluation (no dropout, no gradients): forward on
+  /// block.graph with the block's feature rows, loss/accuracy over the
+  /// block's seed nodes. On an identity block (graph::FullSubgraph) this
+  /// reproduces Evaluate(g, seeds) bitwise — the block-rollout RL reward
+  /// path relies on that for its full-graph special case.
+  EvalResult EvaluateBlock(const graph::Subgraph& block);
+
+  /// Block-graph logits in eval mode (one row per *local* node).
+  tensor::Tensor EvalLogitsBlock(const graph::Subgraph& block);
+
   std::vector<tensor::Tensor> SaveWeights() const {
     return full_.SaveWeights();
   }

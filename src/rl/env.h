@@ -35,6 +35,18 @@ class Env {
 /// rollout buffer fills. Returns the sequence of rewards (telemetry).
 std::vector<double> RunAgentOnEnv(PpoAgent* agent, Env* env, int steps);
 
+/// Lockstep-batched episode driver for externally constructed env sets
+/// (e.g. one env per sampled subgraph block): resets every env, then for
+/// `steps` iterations row-concatenates the observations, samples ONE action
+/// for the combined rows (a single policy forward for the whole batch),
+/// splits the action back per env, and stores the mean env reward as the
+/// transition reward. PPO updates trigger on the shared rollout buffer as
+/// usual. With a single env this reproduces RunAgentOnEnv step-for-step,
+/// bitwise. Returns the per-step mean rewards.
+std::vector<double> RunAgentOnBatchedEnvs(PpoAgent* agent,
+                                          const std::vector<Env*>& envs,
+                                          int steps);
+
 }  // namespace rl
 }  // namespace graphrare
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "data/generator.h"
 #include "entropy/relative_entropy.h"
 
@@ -302,6 +306,76 @@ TEST(RelativeEntropyIndexTest, ShuffleKeepsMembership) {
   std::sort(before.begin(), before.end());
   std::sort(after.begin(), after.end());
   EXPECT_EQ(before, after);
+}
+
+TEST(RelativeEntropyIndexTest, ShuffleSequencesDeterministicForFixedRng) {
+  data::Dataset ds = TestDataset();
+  EntropyOptions opts;
+  auto a = *RelativeEntropyIndex::Build(ds.graph, ds.features, opts);
+  auto b = *RelativeEntropyIndex::Build(ds.graph, ds.features, opts);
+  Rng rng_a(42), rng_b(42);
+  a.ShuffleSequences(&rng_a);
+  b.ShuffleSequences(&rng_b);
+  for (int64_t v = 0; v < a.num_nodes(); ++v) {
+    const NodeSequences& sa = a.sequences(v);
+    const NodeSequences& sb = b.sequences(v);
+    ASSERT_EQ(sa.remote.size(), sb.remote.size());
+    for (size_t i = 0; i < sa.remote.size(); ++i) {
+      EXPECT_EQ(sa.remote[i].node, sb.remote[i].node);
+      EXPECT_EQ(sa.remote[i].entropy, sb.remote[i].entropy);
+    }
+    ASSERT_EQ(sa.neighbors.size(), sb.neighbors.size());
+    for (size_t i = 0; i < sa.neighbors.size(); ++i) {
+      EXPECT_EQ(sa.neighbors[i].node, sb.neighbors[i].node);
+      EXPECT_EQ(sa.neighbors[i].entropy, sb.neighbors[i].entropy);
+    }
+  }
+}
+
+TEST(RelativeEntropyIndexTest, ShuffleSequencesIsPermutationOnly) {
+  data::Dataset ds = TestDataset();
+  EntropyOptions opts;
+  auto index = *RelativeEntropyIndex::Build(ds.graph, ds.features, opts);
+  const auto snapshot = [&] {
+    std::vector<std::vector<std::pair<int64_t, double>>> all;
+    for (int64_t v = 0; v < index.num_nodes(); ++v) {
+      std::vector<std::pair<int64_t, double>> entries;
+      for (const auto& s : index.sequences(v).remote) {
+        entries.emplace_back(s.node, s.entropy);
+      }
+      for (const auto& s : index.sequences(v).neighbors) {
+        entries.emplace_back(s.node, s.entropy);
+      }
+      std::sort(entries.begin(), entries.end());
+      all.push_back(std::move(entries));
+    }
+    return all;
+  };
+  const auto before = snapshot();
+  Rng rng(7);
+  index.ShuffleSequences(&rng);
+  // Shuffling permutes each sequence in place: the (node, entropy) multiset
+  // per node is untouched — no entry gains, loses, or changes its score.
+  EXPECT_EQ(snapshot(), before);
+}
+
+TEST(RelativeEntropyIndexTest, MaxRemoteLengthOnEmptyGraph) {
+  const graph::Graph empty = graph::Graph::FromEdgeListOrDie(0, {});
+  const tensor::Tensor features(0, 4);
+  auto index = *RelativeEntropyIndex::Build(empty, features, {});
+  EXPECT_EQ(index.num_nodes(), 0);
+  EXPECT_EQ(index.MaxRemoteLength(), 0);
+}
+
+TEST(RelativeEntropyIndexTest, MaxRemoteLengthOnSingletonGraph) {
+  const graph::Graph singleton = graph::Graph::FromEdgeListOrDie(1, {});
+  const tensor::Tensor features(1, 4);
+  auto index = *RelativeEntropyIndex::Build(singleton, features, {});
+  EXPECT_EQ(index.num_nodes(), 1);
+  // The only node has no 2-hop or remote candidates: remote stays empty.
+  EXPECT_EQ(index.MaxRemoteLength(), 0);
+  EXPECT_TRUE(index.sequences(0).remote.empty());
+  EXPECT_TRUE(index.sequences(0).neighbors.empty());
 }
 
 TEST(RelativeEntropyIndexTest, ValidationErrors) {

@@ -150,6 +150,42 @@ TEST(PpoLearningTest, LearnsToIncreaseK) {
   EXPECT_GT(late, 0.5);  // near-optimal is 1.0
 }
 
+TEST(BatchedEnvsTest, SingleEnvMatchesUnbatchedLoopBitwise) {
+  PpoOptions opts;
+  opts.steps_per_update = 4;
+  opts.seed = 21;
+  PpoAgent plain_agent(3, opts);
+  PpoAgent batched_agent(3, opts);
+  AlwaysIncreaseBandit plain_env(5);
+  AlwaysIncreaseBandit batched_env(5);
+  const std::vector<double> plain =
+      RunAgentOnEnv(&plain_agent, &plain_env, 24);
+  const std::vector<double> batched = RunAgentOnBatchedEnvs(
+      &batched_agent, {&batched_env}, 24);
+  ASSERT_EQ(plain.size(), batched.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], batched[i]) << "reward diverges at step " << i;
+  }
+}
+
+TEST(BatchedEnvsTest, SharedPolicyLearnsAcrossParallelEnvs) {
+  PpoOptions opts;
+  opts.steps_per_update = 8;
+  opts.lr = 3e-3f;
+  opts.entropy_coef = 0.003f;
+  opts.seed = 23;
+  PpoAgent agent(3, opts);
+  AlwaysIncreaseBandit a(4), b(4), c(4);
+  const std::vector<double> rewards =
+      RunAgentOnBatchedEnvs(&agent, {&a, &b, &c}, 160);
+  ASSERT_EQ(rewards.size(), 160u);
+  double late = 0.0;
+  for (size_t i = rewards.size() - 20; i < rewards.size(); ++i) {
+    late += rewards[i];
+  }
+  EXPECT_GT(late / 20.0, 0.3) << "batched PPO failed to improve";
+}
+
 TEST(PpoLearningTest, JointRatioModeAlsoLearns) {
   PpoOptions opts;
   opts.steps_per_update = 8;

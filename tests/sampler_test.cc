@@ -236,6 +236,31 @@ TEST(SamplerTest, MakeBatchesPartitionsAllIndices) {
   EXPECT_EQ(flat, idx);
 }
 
+TEST(SamplerTest, UnlimitedFanoutKeepsEveryNeighborWithoutRngDraws) {
+  data::Dataset ds = MakeDataset(21);
+  int64_t v = 0;
+  while (ds.graph.Degree(v) < 2) ++v;
+  Rng rng(5);
+  const auto all =
+      NeighborSampler::SampleNeighbors(ds.graph, v, -1, false, &rng);
+  EXPECT_EQ(all, ds.graph.Neighbors(v));
+  // -1 validates; 0 still does not.
+  SamplerOptions opts;
+  opts.fanouts = {-1, -1};
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.fanouts = {0};
+  EXPECT_FALSE(opts.Validate().ok());
+
+  // An unlimited-fanout block equals the k-hop closure of its seeds.
+  opts.fanouts = {-1, -1};
+  NeighborSampler sampler(&ds.graph, opts);
+  const Subgraph block = sampler.SampleBlock({v});
+  std::vector<int64_t> want = ds.graph.KHopNeighbors(v, 2);
+  want.push_back(v);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(block.nodes, want);
+}
+
 TEST(SamplerDeathTest, InvalidSeedsAbort) {
   Graph g = Graph::FromEdgeListOrDie(4, {{0, 1}, {1, 2}});
   SamplerOptions options;
