@@ -1,0 +1,173 @@
+// Serving throughput/latency bench: queries/sec and p50/p99 per-query
+// latency of serve::InferenceEngine vs batch size, sampling fanout, and
+// OpenMP thread count. Writes BENCH_serve_throughput.json so the serving
+// perf trajectory is tracked across PRs like the training-side scaling
+// benches.
+//
+// Quick mode serves a shrunk cora twin; GRARE_BENCH_FULL=1 serves the
+// full-size twin with more requests.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+
+using namespace graphrare;
+
+namespace {
+
+int MaxThreads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void SetThreads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+std::string FanoutLabel(const std::vector<int64_t>& fanouts) {
+  if (fanouts.empty()) return "full";
+  std::string out;
+  for (size_t i = 0; i < fanouts.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(fanouts[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("serving throughput (InferenceEngine)",
+                     "deployable-artifact serving pipeline");
+
+  const data::Dataset ds = bench::LoadBenchDataset("cora");
+  const auto splits = bench::BenchSplits(ds, /*quick_splits=*/1);
+
+  // A briefly trained SAGE backbone: enough signal for realistic logits,
+  // cheap enough that the bench stays about serving, not training.
+  nn::ModelOptions mo;
+  mo.in_features = ds.num_features();
+  mo.hidden = 64;
+  mo.num_classes = ds.num_classes;
+  mo.seed = 7;
+  auto model = nn::MakeModel(nn::BackboneKind::kSage, mo);
+  nn::ClassifierTrainer trainer(
+      model.get(), nn::LayerInput::Sparse(ds.FeaturesCsr()), &ds.labels, {});
+  trainer.Fit(ds.graph, splits[0].train, splits[0].val,
+              core::BenchFullScale() ? 100 : 25, 20);
+
+  auto artifact_or = core::PackageArtifact(*model, nn::BackboneKind::kSage,
+                                           mo, 7, ds.graph, ds);
+  GR_CHECK(artifact_or.ok()) << artifact_or.status().ToString();
+
+  const int num_requests = core::BenchFullScale() ? 512 : 96;
+  const std::vector<int64_t> batch_sizes = {1, 16, 64, 256};
+  const std::vector<std::vector<int64_t>> fanout_modes = {
+      {},        // full-graph (precomputed logits)
+      {5, 5},    // tight sampled
+      {10, 10},  // default sampled
+  };
+
+  std::printf("dataset=%s nodes=%lld edges=%lld threads(max)=%d "
+              "requests/config=%d\n\n",
+              ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.graph.num_edges()), MaxThreads(),
+              num_requests);
+  bench::PrintRow("config",
+                  {"batch", "threads", "qps", "p50 ms", "p99 ms"});
+
+  bench::BenchJson json("serve_throughput");
+  Rng node_rng(123);
+  for (const auto& fanouts : fanout_modes) {
+    serve::EngineOptions opts;
+    opts.fanouts = fanouts;
+    auto engine_or =
+        serve::InferenceEngine::FromArtifact(*artifact_or, opts);
+    GR_CHECK(engine_or.ok()) << engine_or.status().ToString();
+    const serve::InferenceEngine& engine = *engine_or;
+
+    // Sampled mode is where concurrency matters; the full-graph engine is
+    // a lookup table, so one thread configuration suffices there.
+    std::vector<int> thread_counts = {MaxThreads()};
+    if (!fanouts.empty() && MaxThreads() > 1) {
+      thread_counts.insert(thread_counts.begin(), 1);
+    }
+
+    for (const int64_t batch : batch_sizes) {
+      // One fixed request set per (mode, batch) so thread counts compare
+      // identical work.
+      std::vector<std::vector<int64_t>> requests(
+          static_cast<size_t>(num_requests));
+      for (auto& request : requests) {
+        request.resize(static_cast<size_t>(batch));
+        for (auto& id : request) {
+          id = static_cast<int64_t>(
+              node_rng.UniformInt(static_cast<uint64_t>(ds.num_nodes())));
+        }
+      }
+
+      for (const int threads : thread_counts) {
+        SetThreads(threads);
+        // Warm-up (operator caches, allocator).
+        GR_CHECK(engine.PredictBatch({requests[0]}).ok());
+
+        Stopwatch batch_watch;
+        auto results = engine.PredictBatch(requests);
+        const double batch_seconds = batch_watch.ElapsedSeconds();
+        GR_CHECK(results.ok()) << results.status().ToString();
+
+        // Per-query latency distribution from sequential Predict calls.
+        std::vector<double> lat_ms;
+        lat_ms.reserve(requests.size());
+        for (const auto& request : requests) {
+          Stopwatch w;
+          GR_CHECK(engine.Predict(request).ok());
+          lat_ms.push_back(w.ElapsedSeconds() * 1e3);
+        }
+        std::sort(lat_ms.begin(), lat_ms.end());
+
+        const double qps =
+            static_cast<double>(num_requests) * static_cast<double>(batch) /
+            batch_seconds;
+        const double p50 = Percentile(lat_ms, 0.50);
+        const double p99 = Percentile(lat_ms, 0.99);
+        bench::PrintRow(
+            FanoutLabel(fanouts),
+            {StrFormat("%lld", static_cast<long long>(batch)),
+             StrFormat("%d", threads), StrFormat("%.0f", qps),
+             StrFormat("%.3f", p50), StrFormat("%.3f", p99)});
+
+        json.BeginConfig()
+            .Field("mode", fanouts.empty() ? "full" : "sampled")
+            .Field("fanouts", FanoutLabel(fanouts))
+            .Field("batch_size", batch)
+            .Field("num_requests", static_cast<int64_t>(num_requests))
+            .Field("threads", threads)
+            .Field("queries_per_second", qps)
+            .Field("batch_seconds", batch_seconds)
+            .Field("p50_ms", p50)
+            .Field("p99_ms", p99)
+            .Field("max_ms", lat_ms.back())
+            .Field("nodes", ds.num_nodes())
+            .Field("peak_rss_mib", bench::PeakRssMiB());
+      }
+    }
+    std::printf("\n");
+  }
+  SetThreads(MaxThreads());
+  json.Write();
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Command-line runner: train any backbone with or without GraphRARE on any
-// registry dataset, export telemetry and the optimized graph.
+// registry dataset, export telemetry, the optimized graph, and a
+// deployable model artifact — or serve a previously saved artifact.
 //
-// Usage:
+// Usage (training):
 //   graphrare_cli [--dataset=cornell] [--backbone=gcn] [--rare]
 //                 [--splits=3] [--iterations=20] [--lambda=1.0]
 //                 [--k-max=5] [--d-max=5] [--seed=1] [--lr=0.01]
@@ -10,6 +11,11 @@
 //                 [--rl-blocks=4] [--rl-block-fanouts=10,10]
 //                 [--rl-block-seeds=64] [--rl-steps=4]
 //                 [--telemetry=out.csv] [--save-graph=out.graph]
+//                 [--save-artifact=model.grare]
+//
+// Usage (serving a saved artifact; no dataset or training involved):
+//   graphrare_cli --serve-artifact=model.grare --predict=0,1,2
+//                 [--topk=3] [--serve-fanouts=10,10] [--seed=1]
 //
 // --seed is the single master seed: it fans out to the dataset generator,
 // splits, entropy candidate sampling, PPO, the neighbor sampler, and the
@@ -21,6 +27,12 @@
 // case reproduces classic --rare env trajectories); -1 entries mean
 // unlimited fanout.
 //
+// --save-artifact packages the last split's co-trained backbone plus its
+// optimized graph (serve::ModelArtifact); it requires --rare since plain
+// baselines train one throwaway model per split. --serve-artifact reloads
+// such a file into a serve::InferenceEngine: exact full-graph inference by
+// default, fanout-bounded sampled inference with --serve-fanouts.
+//
 // Examples:
 //   ./build/examples/graphrare_cli --dataset=texas --backbone=sage --rare
 //   ./build/examples/graphrare_cli --dataset=cora --backbone=appnp
@@ -28,6 +40,10 @@
 //       --minibatch --fanouts=10,10 --batch-size=512
 //   ./build/examples/graphrare_cli --dataset=pubmed --backbone=sage --rare
 //       --rl-blocks=8 --rl-block-fanouts=10,10 --rl-block-seeds=128
+//   ./build/examples/graphrare_cli --dataset=cornell --rare
+//       --save-artifact=model.grare
+//   ./build/examples/graphrare_cli --serve-artifact=model.grare
+//       --predict=0,5,17 --topk=3
 
 #include <cstdio>
 #include <cstdlib>
@@ -84,19 +100,117 @@ class Flags {
 /// Parses "10,10,5" into a fanout vector (-1 entries = unlimited fanout).
 std::vector<int64_t> ParseFanouts(const std::string& spec) {
   std::vector<int64_t> fanouts;
-  size_t begin = 0;
-  while (begin <= spec.size()) {
-    size_t end = spec.find(',', begin);
-    if (end == std::string::npos) end = spec.size();
-    const long f = std::atol(spec.substr(begin, end - begin).c_str());
+  if (!ParseInt64List(spec, &fanouts)) {
+    std::fprintf(stderr, "invalid fanout spec: %s\n", spec.c_str());
+    std::exit(2);
+  }
+  for (const int64_t f : fanouts) {
     if (f < 1 && f != -1) {
       std::fprintf(stderr, "invalid fanout spec: %s\n", spec.c_str());
       std::exit(2);
     }
-    fanouts.push_back(f);
-    begin = end + 1;
   }
   return fanouts;
+}
+
+/// Parses "0,5,17" into a node-id list (non-negative integers).
+std::vector<int64_t> ParseNodeIds(const std::string& spec) {
+  std::vector<int64_t> ids;
+  if (!ParseInt64List(spec, &ids)) {
+    std::fprintf(stderr, "invalid node id list: %s\n", spec.c_str());
+    std::exit(2);
+  }
+  for (const int64_t id : ids) {
+    if (id < 0) {
+      std::fprintf(stderr, "invalid node id list: %s\n", spec.c_str());
+      std::exit(2);
+    }
+  }
+  return ids;
+}
+
+/// --serve-artifact mode: load, predict, print. Returns the process exit
+/// code.
+int ServeArtifact(const Flags& flags) {
+  const std::string artifact_path = flags.Get("serve-artifact", "");
+  serve::EngineOptions engine_opts;
+  const std::string fanout_spec = flags.Get("serve-fanouts", "");
+  if (!fanout_spec.empty()) {
+    engine_opts.fanouts = ParseFanouts(fanout_spec);
+  }
+  engine_opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  auto engine_or =
+      serve::InferenceEngine::LoadFrom(artifact_path, engine_opts);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  const serve::InferenceEngine& engine = *engine_or;
+  const serve::ModelArtifact& art = engine.artifact();
+  std::printf("artifact=%s dataset=%s backbone=%s nodes=%lld classes=%lld "
+              "mode=%s\n",
+              artifact_path.c_str(), art.dataset_name.c_str(),
+              nn::BackboneName(art.backbone),
+              static_cast<long long>(engine.num_nodes()),
+              static_cast<long long>(engine.num_classes()),
+              engine.full_graph_mode() ? "full-graph" : "sampled");
+
+  const std::string predict_spec = flags.Get("predict", "");
+  if (predict_spec.empty()) {
+    std::fprintf(stderr,
+                 "error: --serve-artifact needs --predict=ID,ID,...\n");
+    return 2;
+  }
+  const std::vector<int64_t> ids = ParseNodeIds(predict_spec);
+  const int topk = flags.GetInt("topk", 1);
+
+  auto preds_or = engine.Predict(ids);
+  if (!preds_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 preds_or.status().ToString().c_str());
+    return 1;
+  }
+  for (const serve::Prediction& p : preds_or.value()) {
+    std::printf("node %lld -> class %lld",
+                static_cast<long long>(p.node),
+                static_cast<long long>(p.predicted_class));
+    if (topk > 1) {
+      // Rank the probabilities already in hand: a fresh engine.TopK call
+      // would re-sample in sampled mode and could disagree with p.
+      std::printf("  top%d:", topk);
+      for (const auto& [cls, prob] : serve::TopKOf(p, topk)) {
+        std::printf(" %lld=%.4f", static_cast<long long>(cls), prob);
+      }
+    } else {
+      std::printf("  p=%.4f",
+                  p.probabilities[static_cast<size_t>(p.predicted_class)]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Saves the last run's artifact if --save-artifact was given. Returns
+/// false on failure.
+bool MaybeSaveArtifact(const Flags& flags, const core::GraphRareResult& run,
+                       const data::Dataset& dataset) {
+  const std::string path = flags.Get("save-artifact", "");
+  if (path.empty()) return true;
+  auto artifact_or = run.ExportArtifact(dataset);
+  if (!artifact_or.ok()) {
+    std::fprintf(stderr, "save-artifact: %s\n",
+                 artifact_or.status().ToString().c_str());
+    return false;
+  }
+  const Status s = artifact_or->Save(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save-artifact: %s\n", s.ToString().c_str());
+    return false;
+  }
+  std::printf("model artifact written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace
@@ -104,6 +218,11 @@ std::vector<int64_t> ParseFanouts(const std::string& spec) {
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   const Flags flags(argc, argv);
+
+  // Serve mode: no dataset, no training — just artifact + queries.
+  if (!flags.Get("serve-artifact", "").empty()) {
+    return ServeArtifact(flags);
+  }
 
   const std::string dataset_name = flags.Get("dataset", "cornell");
   const std::string backbone_name = flags.Get("backbone", "gcn");
@@ -136,6 +255,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(dataset.num_nodes()),
               static_cast<long long>(dataset.graph.num_edges()),
               dataset.Homophily(), nn::BackboneName(backbone));
+
+  // Guarded before any training branch so the flag is never silently
+  // dropped: only the --rare paths retain a deployable model.
+  if (!flags.Get("save-artifact", "").empty() && !flags.GetBool("rare")) {
+    std::fprintf(stderr,
+                 "error: --save-artifact requires --rare (baseline runs "
+                 "train one throwaway model per split)\n");
+    return 2;
+  }
 
   if (flags.GetBool("minibatch")) {
     if (flags.GetBool("rare")) {
@@ -229,6 +357,7 @@ int main(int argc, char** argv) {
       }
       std::printf("optimized graph written to %s\n", graph_path.c_str());
     }
+    if (!MaybeSaveArtifact(flags, agg.last_run, dataset)) return 1;
     return 0;
   }
 
@@ -258,5 +387,6 @@ int main(int argc, char** argv) {
     }
     std::printf("optimized graph written to %s\n", graph_path.c_str());
   }
+  if (!MaybeSaveArtifact(flags, agg.last_run, dataset)) return 1;
   return 0;
 }

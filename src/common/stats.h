@@ -1,0 +1,25 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Tiny order-statistics helpers shared by the serving daemon and the
+// throughput benches (latency percentiles).
+
+#ifndef GRAPHRARE_COMMON_STATS_H_
+#define GRAPHRARE_COMMON_STATS_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace graphrare {
+
+/// Nearest-rank percentile of an ascending-sorted sample; p in [0, 1].
+/// Returns 0 for an empty sample.
+inline double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_STATS_H_

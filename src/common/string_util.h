@@ -6,7 +6,9 @@
 #define GRAPHRARE_COMMON_STRING_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,29 @@ inline std::string StrJoin(const std::vector<std::string>& parts,
     out += parts[i];
   }
   return out;
+}
+
+/// Parses a comma-separated integer list ("10,10,-1") into *out
+/// (appending). Returns false — leaving *out in an unspecified state — on
+/// empty tokens or any non-integer junk ("10x", "", "1,,2"). Range
+/// validation is the caller's job; this only guarantees every token was a
+/// well-formed integer.
+inline bool ParseInt64List(const std::string& spec,
+                           std::vector<int64_t>* out) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    char* parse_end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &parse_end, 10);
+    if (token.empty() || parse_end != token.c_str() + token.size()) {
+      return false;
+    }
+    out->push_back(static_cast<int64_t>(v));
+    begin = end + 1;
+  }
+  return true;
 }
 
 /// Pads or truncates to a fixed width (left-aligned) for ASCII tables.

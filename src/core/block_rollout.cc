@@ -10,6 +10,17 @@
 namespace graphrare {
 namespace core {
 
+Result<serve::ModelArtifact> BlockCoTrainResult::ExportArtifact(
+    const data::Dataset& dataset) const {
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "result holds no trained model (was it produced by "
+        "RunBlockCoTraining?)");
+  }
+  return PackageArtifact(*model, backbone, model_options, seed, best_graph,
+                         dataset);
+}
+
 Status BlockRolloutOptions::Validate() const {
   if (blocks_per_round < 1) {
     return Status::InvalidArgument("blocks_per_round must be >= 1");
@@ -316,6 +327,12 @@ BlockCoTrainResult RunBlockCoTraining(const data::Dataset& dataset,
       trainer.Evaluate(result.best_graph, split.test).accuracy;
   result.final_edges = result.best_graph.num_edges();
   result.train_seconds = train_watch.ElapsedSeconds();
+
+  // Hand the co-trained backbone (best weights restored) to the caller.
+  result.model = std::move(model);
+  result.backbone = options.backbone;
+  result.model_options = model_opts;
+  result.seed = options.seed;
   return result;
 }
 

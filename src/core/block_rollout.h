@@ -161,7 +161,8 @@ class BlockRolloutRunner {
   EditMerger merger_;
 };
 
-/// Outcome of a block-scoped co-training run (mirrors GraphRareResult).
+/// Outcome of a block-scoped co-training run (mirrors GraphRareResult,
+/// including the retained model + ExportArtifact deployable hand-off).
 struct BlockCoTrainResult {
   double test_accuracy = 0.0;
   double best_val_accuracy = 0.0;
@@ -173,6 +174,16 @@ struct BlockCoTrainResult {
   std::vector<double> reward_history;   ///< per-round mean reward
   std::vector<double> val_acc_history;  ///< per-round merged-graph val acc
   graph::Graph best_graph;
+
+  /// The co-trained backbone with its best (validation-selected) weights.
+  std::shared_ptr<nn::NodeClassifier> model;
+  nn::BackboneKind backbone = nn::BackboneKind::kGcn;
+  nn::ModelOptions model_options;
+  uint64_t seed = 0;
+
+  /// Packages model + best_graph into a deployable serve::ModelArtifact.
+  Result<serve::ModelArtifact> ExportArtifact(
+      const data::Dataset& dataset) const;
 };
 
 /// Runs block-scoped GraphRARE co-training on one split: entropy index on

@@ -210,6 +210,10 @@ GraphRareAggregate RunGraphRareBlocks(const data::Dataset& dataset,
       agg.last_run.reward_history = std::move(result.reward_history);
       agg.last_run.val_acc_history = std::move(result.val_acc_history);
       agg.last_run.best_graph = std::move(result.best_graph);
+      agg.last_run.model = std::move(result.model);
+      agg.last_run.backbone = result.backbone;
+      agg.last_run.model_options = result.model_options;
+      agg.last_run.seed = result.seed;
     }
   }
   const double inv =

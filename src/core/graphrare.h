@@ -2,7 +2,7 @@
 //
 // Umbrella header: include this to use the whole GraphRARE library.
 //
-// Quickstart:
+// Quickstart — train, deploy, serve:
 //
 //   #include "core/graphrare.h"
 //   using namespace graphrare;
@@ -13,7 +13,16 @@
 //   opts.backbone = nn::BackboneKind::kGcn;
 //   core::GraphRareTrainer trainer(&ds, opts);
 //   core::GraphRareResult r = trainer.Run(splits[0]);
-//   // r.test_accuracy, r.final_homophily, r.best_graph ...
+//   // r.test_accuracy, r.final_homophily, r.best_graph, r.model ...
+//
+//   // The run's product is the co-trained model + optimized graph:
+//   serve::ModelArtifact artifact = *r.ExportArtifact(ds);
+//   artifact.Save("model.grare");
+//
+//   // Any process can then serve it (no training stack involved):
+//   auto engine = *serve::InferenceEngine::LoadFrom("model.grare");
+//   auto preds = *engine.Predict({0, 1, 2});
+//   // preds[0].predicted_class, preds[0].probabilities ...
 
 #ifndef GRAPHRARE_CORE_GRAPHRARE_H_
 #define GRAPHRARE_CORE_GRAPHRARE_H_
@@ -37,6 +46,8 @@
 #include "nn/trainer.h"
 #include "rl/env.h"
 #include "rl/ppo.h"
+#include "serve/artifact.h"
+#include "serve/engine.h"
 #include "tensor/ops.h"
 #include "core/block_rollout.h"
 #include "core/edit_merger.h"

@@ -38,6 +38,34 @@ Status GraphRareOptions::Validate() const {
   return Status::OK();
 }
 
+Result<serve::ModelArtifact> PackageArtifact(
+    const nn::NodeClassifier& model, nn::BackboneKind backbone,
+    const nn::ModelOptions& model_options, uint64_t seed,
+    const graph::Graph& graph, const data::Dataset& dataset) {
+  serve::ModelArtifact artifact;
+  artifact.backbone = backbone;
+  artifact.model_options = model_options;
+  artifact.weights = model.StateDict();
+  artifact.graph = graph;
+  artifact.features = dataset.FeaturesCsr();
+  artifact.labels = dataset.labels;
+  artifact.dataset_name = dataset.name;
+  artifact.seed = seed;
+  GR_RETURN_IF_ERROR(artifact.Validate());
+  return artifact;
+}
+
+Result<serve::ModelArtifact> GraphRareResult::ExportArtifact(
+    const data::Dataset& dataset) const {
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "result holds no trained model (was it produced by "
+        "GraphRareTrainer::Run?)");
+  }
+  return PackageArtifact(*model, backbone, model_options, seed, best_graph,
+                         dataset);
+}
+
 DerivedSeeds DeriveSeeds(uint64_t master) {
   DerivedSeeds s;
   // The entropy/ppo/run formulas predate this helper; they are kept
@@ -300,6 +328,13 @@ GraphRareResult GraphRareTrainer::Run(const data::Split& split) {
       result.best_graph.EdgeHomophily(dataset_->labels);
   result.final_edges = result.best_graph.num_edges();
   result.train_seconds = train_watch.ElapsedSeconds();
+
+  // Hand the co-trained backbone (best weights already restored) back to
+  // the caller — it is half of the deployable product.
+  result.model = std::move(model);
+  result.backbone = options_.backbone;
+  result.model_options = model_opts;
+  result.seed = options_.seed;
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "entropy/relative_entropy.h"
 #include "nn/trainer.h"
 #include "rl/ppo.h"
+#include "serve/artifact.h"
 #include "core/reward.h"
 #include "core/topology_optimizer.h"
 
@@ -94,7 +95,19 @@ struct DerivedSeeds {
 
 DerivedSeeds DeriveSeeds(uint64_t master);
 
-/// Everything a run reports (feeds Tables III-VI and Figs. 5-7).
+/// Packages a trained backbone + topology + a dataset's features into a
+/// deployable serve::ModelArtifact. Shared implementation behind the
+/// result structs' ExportArtifact hooks; also usable for plain baselines.
+Result<serve::ModelArtifact> PackageArtifact(
+    const nn::NodeClassifier& model, nn::BackboneKind backbone,
+    const nn::ModelOptions& model_options, uint64_t seed,
+    const graph::Graph& graph, const data::Dataset& dataset);
+
+/// Everything a run reports (feeds Tables III-VI and Figs. 5-7), plus the
+/// deployable outcome: the co-trained backbone with its best
+/// (validation-selected) weights and the graph it was selected on. The
+/// model+graph pair is the product of a GraphRARE run — ExportArtifact
+/// packages it for serve::InferenceEngine.
 struct GraphRareResult {
   double test_accuracy = 0.0;
   double best_val_accuracy = 0.0;
@@ -112,6 +125,22 @@ struct GraphRareResult {
   std::vector<double> reward_history;
 
   graph::Graph best_graph;
+
+  /// The trained backbone, holding the weights that produced
+  /// test_accuracy. Shared so results stay copyable; never null after a
+  /// successful Run.
+  std::shared_ptr<nn::NodeClassifier> model;
+  /// Architecture the model was built with (artifact metadata).
+  nn::BackboneKind backbone = nn::BackboneKind::kGcn;
+  nn::ModelOptions model_options;
+  /// Master seed of the producing run (artifact provenance).
+  uint64_t seed = 0;
+
+  /// Packages model + best_graph + the dataset's features into a
+  /// deployable serve::ModelArtifact. Fails if the result holds no model
+  /// (default-constructed / legacy results).
+  Result<serve::ModelArtifact> ExportArtifact(
+      const data::Dataset& dataset) const;
 };
 
 /// Mini-batch supervised training configuration: neighbor-sampled blocks

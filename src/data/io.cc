@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/line_reader.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -57,62 +58,107 @@ Result<Dataset> LoadDataset(const std::string& path) {
   if (!in) {
     return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
   }
+  LineReader reader(&in, path);
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    return Status::InvalidArgument(
-        StrFormat("'%s': missing dataset header", path.c_str()));
-  }
-  std::string keyword, name;
-  if (!(in >> keyword >> name) || keyword != "name") {
-    return Status::InvalidArgument("malformed name line");
-  }
-  int64_t n = 0, e = 0, d = 0, c = 0;
-  std::string kn, ke, kd, kc;
-  if (!(in >> kn >> n >> ke >> e >> kd >> d >> kc >> c) || kn != "nodes" ||
-      ke != "edges" || kd != "features" || kc != "classes" || n < 0 ||
-      e < 0 || d < 1 || c < 1) {
-    return Status::InvalidArgument("malformed counts line");
+
+  if (!reader.Next(&line)) return reader.Truncated("the dataset header");
+  if (line != kMagic) {
+    return reader.Error(StrFormat("missing '%s' header", kMagic));
   }
 
-  if (!(in >> keyword) || keyword != "labels") {
-    return Status::InvalidArgument("expected labels section");
-  }
-  std::vector<int64_t> labels(static_cast<size_t>(n));
-  for (auto& y : labels) {
-    if (!(in >> y) || y < 0 || y >= c) {
-      return Status::InvalidArgument("malformed label");
+  if (!reader.Next(&line)) return reader.Truncated("a 'name <name>' line");
+  std::string keyword, name, rest;
+  {
+    std::istringstream ss(line);
+    if (!(ss >> keyword >> name) || keyword != "name" || (ss >> rest)) {
+      return reader.Error("malformed name line (want 'name <name>')");
     }
   }
 
-  if (!(in >> keyword) || keyword != "edges") {
-    return Status::InvalidArgument("expected edges section");
+  if (!reader.Next(&line)) return reader.Truncated("the counts line");
+  int64_t n = 0, e = 0, d = 0, c = 0;
+  {
+    std::string kn, ke, kd, kc;
+    std::istringstream ss(line);
+    if (!(ss >> kn >> n >> ke >> e >> kd >> d >> kc >> c) ||
+        kn != "nodes" || ke != "edges" || kd != "features" ||
+        kc != "classes" || n < 0 || e < 0 || d < 1 || c < 1 ||
+        (ss >> rest)) {
+      return reader.Error(
+          "malformed counts line (want 'nodes N edges E features D "
+          "classes C')");
+    }
+  }
+
+  if (!reader.Next(&line)) return reader.Truncated("the labels section");
+  if (line != "labels") {
+    return reader.Error("expected 'labels' section marker");
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  if (n > 0) {
+    if (!reader.Next(&line)) return reader.Truncated("the label values");
+    std::istringstream ss(line);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t y = -1;
+      if (!(ss >> y)) {
+        return reader.Error(StrFormat(
+            "expected %lld labels, line ends after %lld",
+            static_cast<long long>(n), static_cast<long long>(i)));
+      }
+      if (y < 0 || y >= c) {
+        return reader.Error(StrFormat(
+            "label %lld (position %lld) outside [0, %lld)",
+            static_cast<long long>(y), static_cast<long long>(i),
+            static_cast<long long>(c)));
+      }
+      labels[static_cast<size_t>(i)] = y;
+    }
+    if (ss >> rest) {
+      return reader.Error(StrFormat("trailing data after %lld labels",
+                                    static_cast<long long>(n)));
+    }
+  }
+
+  if (!reader.Next(&line)) return reader.Truncated("the edges section");
+  if (line != "edges") {
+    return reader.Error("expected 'edges' section marker");
   }
   std::vector<graph::Edge> edges;
   edges.reserve(static_cast<size_t>(e));
   for (int64_t i = 0; i < e; ++i) {
-    int64_t u, v;
-    if (!(in >> u >> v)) {
-      return Status::InvalidArgument("truncated edge list");
+    if (!reader.Next(&line)) {
+      return reader.Truncated(StrFormat(
+          "%lld edges (found %lld)", static_cast<long long>(e),
+          static_cast<long long>(i)));
+    }
+    int64_t u = 0, v = 0;
+    if (!ParseIntPair(line, &u, &v)) {
+      return reader.Error("malformed edge (want 'u v')");
     }
     edges.emplace_back(u, v);
   }
 
-  if (!(in >> keyword) || keyword != "features") {
-    return Status::InvalidArgument("expected features section");
+  if (!reader.Next(&line)) return reader.Truncated("the features section");
+  if (line != "features") {
+    return reader.Error("expected 'features' section marker");
   }
   tensor::Tensor x(n, d);
-  while (in >> keyword && keyword != "end") {
-    // keyword holds the node id; read the dimension.
+  for (;;) {
+    if (!reader.Next(&line)) {
+      return reader.Truncated("an 'end' marker after the features");
+    }
+    if (line == "end") break;
     int64_t i = -1, j = -1;
-    std::istringstream node_stream(keyword);
-    if (!(node_stream >> i) || !(in >> j) || i < 0 || i >= n || j < 0 ||
-        j >= d) {
-      return Status::InvalidArgument("malformed feature entry");
+    if (!ParseIntPair(line, &i, &j)) {
+      return reader.Error("malformed feature entry (want 'node dim')");
+    }
+    if (i < 0 || i >= n || j < 0 || j >= d) {
+      return reader.Error(StrFormat(
+          "feature entry (%lld, %lld) outside %lld x %lld",
+          static_cast<long long>(i), static_cast<long long>(j),
+          static_cast<long long>(n), static_cast<long long>(d)));
     }
     x.at(i, j) = 1.0f;
-  }
-  if (keyword != "end") {
-    return Status::InvalidArgument("missing end marker");
   }
 
   GR_ASSIGN_OR_RETURN(graph::Graph g, graph::Graph::FromEdgeList(n, edges));

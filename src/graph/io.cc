@@ -2,8 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 
+#include "common/line_reader.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -30,19 +30,28 @@ Result<Graph> LoadGraph(const std::string& path) {
   if (!in) {
     return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
   }
+  LineReader reader(&in, path);
+  std::string line;
+  if (!reader.Next(&line)) {
+    return reader.Truncated("a 'num_nodes num_edges' header");
+  }
   int64_t num_nodes = -1, num_edges = -1;
-  if (!(in >> num_nodes >> num_edges) || num_nodes < 0 || num_edges < 0) {
-    return Status::InvalidArgument(
-        StrFormat("'%s': malformed header", path.c_str()));
+  if (!ParseIntPair(line, &num_nodes, &num_edges) || num_nodes < 0 ||
+      num_edges < 0) {
+    return reader.Error(
+        "malformed header (want 'num_nodes num_edges', both >= 0)");
   }
   std::vector<Edge> edges;
   edges.reserve(static_cast<size_t>(num_edges));
   for (int64_t i = 0; i < num_edges; ++i) {
-    int64_t u, v;
-    if (!(in >> u >> v)) {
-      return Status::InvalidArgument(StrFormat(
-          "'%s': expected %lld edges, file ends after %lld", path.c_str(),
-          static_cast<long long>(num_edges), static_cast<long long>(i)));
+    if (!reader.Next(&line)) {
+      return reader.Truncated(StrFormat(
+          "%lld edges (found %lld)", static_cast<long long>(num_edges),
+          static_cast<long long>(i)));
+    }
+    int64_t u = 0, v = 0;
+    if (!ParseIntPair(line, &u, &v)) {
+      return reader.Error("malformed edge (want 'u v')");
     }
     edges.emplace_back(u, v);
   }

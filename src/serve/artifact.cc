@@ -1,0 +1,425 @@
+#include "serve/artifact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'A', 'R', 'E', 'A', 'R', 'T'};
+constexpr char kEndMarker[8] = {'G', 'R', 'A', 'R', 'E', 'E', 'N', 'D'};
+
+// ---- Little-endian binary writer/reader -----------------------------------
+//
+// Fixed-width fields are written through memcpy of native representations;
+// the library targets little-endian hosts only (as does every supported
+// platform), and Load verifies the magic so a foreign file fails loudly.
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream* out) : out_(out) {}
+
+  void Bytes(const void* data, size_t n) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(n));
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void I64(int64_t v) { Bytes(&v, sizeof(v)); }
+  void F32(float v) { Bytes(&v, sizeof(v)); }
+  void String(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  void I64Array(const std::vector<int64_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(int64_t));
+  }
+  void F32Array(const std::vector<float>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(float));
+  }
+  void Tensor(const tensor::Tensor& t) {
+    I64(t.rows());
+    I64(t.cols());
+    Bytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+
+ private:
+  std::ofstream* out_;
+};
+
+class Reader {
+ public:
+  /// `file_size` bounds every length/count read from the stream: a file
+  /// cannot hold more payload than its own bytes, so a corrupt header can
+  /// never force an allocation beyond the (already-read) file size.
+  Reader(std::ifstream* in, std::string path, uint64_t file_size)
+      : in_(in), path_(std::move(path)), file_size_(file_size) {}
+
+  Status Bytes(void* data, size_t n) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_->gcount()) != n) {
+      return Status::InvalidArgument(
+          StrFormat("'%s': truncated artifact (wanted %zu bytes at offset "
+                    "%llu)",
+                    path_.c_str(), n,
+                    static_cast<unsigned long long>(offset_)));
+    }
+    offset_ += n;
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  Status U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+  Status I64(int64_t* v) { return Bytes(v, sizeof(*v)); }
+  Status F32(float* v) { return Bytes(v, sizeof(*v)); }
+
+  /// Bytes between the cursor and the end of the file.
+  uint64_t RemainingBytes() const {
+    return file_size_ > offset_ ? file_size_ - offset_ : 0;
+  }
+
+  Status String(std::string* s, uint64_t max_len = 1ULL << 20) {
+    uint64_t len = 0;
+    GR_RETURN_IF_ERROR(U64(&len));
+    if (len > max_len || len > RemainingBytes()) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': implausible string length %llu (corrupt artifact?)",
+          path_.c_str(), static_cast<unsigned long long>(len)));
+    }
+    s->resize(static_cast<size_t>(len));
+    return Bytes(s->data(), static_cast<size_t>(len));
+  }
+
+  /// Reads a length-prefixed array, rejecting counts beyond `max_elems`
+  /// or beyond what the file can physically hold *before* allocating.
+  Status I64Array(std::vector<int64_t>* v, uint64_t max_elems) {
+    uint64_t n = 0;
+    GR_RETURN_IF_ERROR(U64(&n));
+    if (n > max_elems || n > RemainingBytes() / sizeof(int64_t)) {
+      return ImplausibleCount(n, max_elems, sizeof(int64_t));
+    }
+    v->resize(static_cast<size_t>(n));
+    return Bytes(v->data(), static_cast<size_t>(n) * sizeof(int64_t));
+  }
+  Status F32Array(std::vector<float>* v, uint64_t max_elems) {
+    uint64_t n = 0;
+    GR_RETURN_IF_ERROR(U64(&n));
+    if (n > max_elems || n > RemainingBytes() / sizeof(float)) {
+      return ImplausibleCount(n, max_elems, sizeof(float));
+    }
+    v->resize(static_cast<size_t>(n));
+    return Bytes(v->data(), static_cast<size_t>(n) * sizeof(float));
+  }
+  Status Tensor(tensor::Tensor* t) {
+    int64_t rows = 0, cols = 0;
+    GR_RETURN_IF_ERROR(I64(&rows));
+    GR_RETURN_IF_ERROR(I64(&cols));
+    // Per-dimension and overflow-safe product checks: rows*cols may not
+    // be formed before both operands are known small enough.
+    const uint64_t max_numel = RemainingBytes() / sizeof(float);
+    if (rows < 0 || cols < 0 ||
+        (rows > 0 && static_cast<uint64_t>(cols) >
+                         max_numel / static_cast<uint64_t>(rows))) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': implausible tensor shape %lldx%lld", path_.c_str(),
+          static_cast<long long>(rows), static_cast<long long>(cols)));
+    }
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    GR_RETURN_IF_ERROR(
+        Bytes(data.data(), data.size() * sizeof(float)));
+    *t = tensor::Tensor::FromData(rows, cols, std::move(data));
+    return Status::OK();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status ImplausibleCount(uint64_t n, uint64_t max_elems,
+                          uint64_t elem_size) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': implausible element count %llu (limit %llu; corrupt "
+        "artifact?)",
+        path_.c_str(), static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(
+            std::min(max_elems, RemainingBytes() / elem_size))));
+  }
+
+  std::ifstream* in_;
+  std::string path_;
+  uint64_t file_size_;
+  uint64_t offset_ = 0;
+};
+
+void WriteModelOptions(Writer* w, const nn::ModelOptions& mo) {
+  w->I64(mo.in_features);
+  w->I64(mo.hidden);
+  w->I64(mo.num_classes);
+  w->U32(static_cast<uint32_t>(mo.num_layers));
+  w->F32(mo.dropout);
+  w->U32(static_cast<uint32_t>(mo.gat_heads));
+  w->F32(mo.appnp_alpha);
+  w->U32(static_cast<uint32_t>(mo.appnp_iterations));
+  w->U64(mo.seed);
+}
+
+Status ReadModelOptions(Reader* r, nn::ModelOptions* mo) {
+  uint32_t num_layers = 0, gat_heads = 0, appnp_iterations = 0;
+  GR_RETURN_IF_ERROR(r->I64(&mo->in_features));
+  GR_RETURN_IF_ERROR(r->I64(&mo->hidden));
+  GR_RETURN_IF_ERROR(r->I64(&mo->num_classes));
+  GR_RETURN_IF_ERROR(r->U32(&num_layers));
+  GR_RETURN_IF_ERROR(r->F32(&mo->dropout));
+  GR_RETURN_IF_ERROR(r->U32(&gat_heads));
+  GR_RETURN_IF_ERROR(r->F32(&mo->appnp_alpha));
+  GR_RETURN_IF_ERROR(r->U32(&appnp_iterations));
+  GR_RETURN_IF_ERROR(r->U64(&mo->seed));
+  mo->num_layers = static_cast<int>(num_layers);
+  mo->gat_heads = static_cast<int>(gat_heads);
+  mo->appnp_iterations = static_cast<int>(appnp_iterations);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ModelArtifact::Validate() const {
+  GR_RETURN_IF_ERROR(model_options.Validate());
+  if (weights.empty()) {
+    return Status::InvalidArgument("artifact holds no weight tensors");
+  }
+  if (features == nullptr) {
+    return Status::InvalidArgument("artifact holds no feature matrix");
+  }
+  if (features->rows() != graph.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "feature matrix has %lld rows but the graph has %lld nodes",
+        static_cast<long long>(features->rows()),
+        static_cast<long long>(graph.num_nodes())));
+  }
+  if (features->cols() != model_options.in_features) {
+    return Status::InvalidArgument(StrFormat(
+        "feature width %lld != model in_features %lld",
+        static_cast<long long>(features->cols()),
+        static_cast<long long>(model_options.in_features)));
+  }
+  if (!labels.empty()) {
+    if (static_cast<int64_t>(labels.size()) != graph.num_nodes()) {
+      return Status::InvalidArgument(StrFormat(
+          "%zu labels for %lld nodes", labels.size(),
+          static_cast<long long>(graph.num_nodes())));
+    }
+    for (const int64_t y : labels) {
+      if (y < 0 || y >= model_options.num_classes) {
+        return Status::InvalidArgument(
+            StrFormat("label %lld outside [0, %lld)",
+                      static_cast<long long>(y),
+                      static_cast<long long>(model_options.num_classes)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<nn::NodeClassifier>> ModelArtifact::MakeModel() const {
+  GR_RETURN_IF_ERROR(Validate());
+  std::unique_ptr<nn::NodeClassifier> model =
+      nn::MakeModel(backbone, model_options);
+  GR_RETURN_IF_ERROR(model->LoadStateDict(weights));
+  return model;
+}
+
+Status ModelArtifact::Save(const std::string& path) const {
+  GR_RETURN_IF_ERROR(Validate());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  Writer w(&out);
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kArtifactSchemaVersion);
+  w.U32(static_cast<uint32_t>(backbone));
+  WriteModelOptions(&w, model_options);
+  w.U64(seed);
+  w.String(dataset_name);
+
+  w.I64(graph.num_nodes());
+  w.I64(graph.num_edges());
+  for (const auto& [u, v] : graph.edges()) {
+    w.I64(u);
+    w.I64(v);
+  }
+
+  w.I64(features->rows());
+  w.I64(features->cols());
+  w.I64Array(features->row_ptr());
+  w.I64Array(features->col_idx());
+  w.F32Array(features->values());
+
+  w.I64Array(labels);
+
+  w.U64(weights.size());
+  for (const auto& [name, value] : weights) {
+    w.String(name);
+    w.Tensor(value);
+  }
+  w.Bytes(kEndMarker, sizeof(kEndMarker));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::Internal(StrFormat("cannot stat '%s'", path.c_str()));
+  }
+  Reader r(&in, path, static_cast<uint64_t>(file_size));
+
+  char magic[sizeof(kMagic)] = {};
+  GR_RETURN_IF_ERROR(r.Bytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': not a GraphRARE model artifact (bad magic)",
+                  path.c_str()));
+  }
+  uint32_t version = 0;
+  GR_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kArtifactSchemaVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': artifact schema v%u, this build reads v%u", path.c_str(),
+        version, kArtifactSchemaVersion));
+  }
+
+  ModelArtifact art;
+  uint32_t backbone_raw = 0;
+  GR_RETURN_IF_ERROR(r.U32(&backbone_raw));
+  if (backbone_raw > static_cast<uint32_t>(nn::BackboneKind::kAppnp)) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s': unknown backbone kind %u", path.c_str(), backbone_raw));
+  }
+  art.backbone = static_cast<nn::BackboneKind>(backbone_raw);
+  GR_RETURN_IF_ERROR(ReadModelOptions(&r, &art.model_options));
+  GR_RETURN_IF_ERROR(r.U64(&art.seed));
+  GR_RETURN_IF_ERROR(r.String(&art.dataset_name));
+
+  int64_t num_nodes = 0, num_edges = 0;
+  GR_RETURN_IF_ERROR(r.I64(&num_nodes));
+  GR_RETURN_IF_ERROR(r.I64(&num_edges));
+  // The file itself bounds both counts before anything is allocated:
+  // each edge occupies two i64s here, and a valid artifact later carries
+  // a features row_ptr of num_nodes + 1 i64s.
+  if (num_nodes < 0 || num_edges < 0 ||
+      static_cast<uint64_t>(num_nodes) >
+          r.RemainingBytes() / sizeof(int64_t) ||
+      static_cast<uint64_t>(num_edges) >
+          r.RemainingBytes() / (2 * sizeof(int64_t))) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': implausible graph header (%lld nodes, %lld edges)",
+                  path.c_str(), static_cast<long long>(num_nodes),
+                  static_cast<long long>(num_edges)));
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t i = 0; i < num_edges; ++i) {
+    int64_t u = 0, v = 0;
+    GR_RETURN_IF_ERROR(r.I64(&u));
+    GR_RETURN_IF_ERROR(r.I64(&v));
+    edges.emplace_back(u, v);
+  }
+  GR_ASSIGN_OR_RETURN(art.graph, graph::Graph::FromEdgeList(num_nodes, edges));
+
+  int64_t frows = 0, fcols = 0;
+  GR_RETURN_IF_ERROR(r.I64(&frows));
+  GR_RETURN_IF_ERROR(r.I64(&fcols));
+  if (frows < 0 || fcols < 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': negative feature shape", path.c_str()));
+  }
+  std::vector<int64_t> row_ptr, col_idx;
+  std::vector<float> values;
+  GR_RETURN_IF_ERROR(
+      r.I64Array(&row_ptr, static_cast<uint64_t>(frows) + 1));
+  GR_RETURN_IF_ERROR(r.I64Array(&col_idx, 1ULL << 40));
+  GR_RETURN_IF_ERROR(r.F32Array(&values, 1ULL << 40));
+  if (static_cast<int64_t>(row_ptr.size()) != frows + 1 ||
+      col_idx.size() != values.size() || row_ptr.empty() ||
+      row_ptr.front() != 0 ||
+      row_ptr.back() != static_cast<int64_t>(col_idx.size())) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': inconsistent feature CSR arrays", path.c_str()));
+  }
+  for (size_t i = 1; i < row_ptr.size(); ++i) {
+    // Monotonicity: a shuffled row_ptr would otherwise reassign entries
+    // to the wrong rows below and still "load" successfully.
+    if (row_ptr[i] < row_ptr[i - 1]) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': feature CSR row_ptr not monotonic", path.c_str()));
+    }
+  }
+  // Rebuild through FromCoo: re-validates indices and restores the exact
+  // canonical CSR (entries were saved in row-major sorted order).
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(values.size());
+  for (int64_t row = 0; row < frows; ++row) {
+    for (int64_t p = row_ptr[static_cast<size_t>(row)];
+         p < row_ptr[static_cast<size_t>(row) + 1]; ++p) {
+      if (p < 0 || p >= static_cast<int64_t>(col_idx.size()) ||
+          col_idx[static_cast<size_t>(p)] < 0 ||
+          col_idx[static_cast<size_t>(p)] >= fcols) {
+        return Status::InvalidArgument(StrFormat(
+            "'%s': feature CSR entry out of range", path.c_str()));
+      }
+      entries.push_back({row, col_idx[static_cast<size_t>(p)],
+                         values[static_cast<size_t>(p)]});
+    }
+  }
+  art.features = std::make_shared<tensor::CsrMatrix>(
+      tensor::CsrMatrix::FromCoo(frows, fcols, std::move(entries)));
+
+  GR_RETURN_IF_ERROR(
+      r.I64Array(&art.labels, static_cast<uint64_t>(num_nodes)));
+
+  uint64_t num_weights = 0;
+  GR_RETURN_IF_ERROR(r.U64(&num_weights));
+  if (num_weights > 1ULL << 16) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': implausible weight-tensor count %llu", path.c_str(),
+                  static_cast<unsigned long long>(num_weights)));
+  }
+  art.weights.reserve(static_cast<size_t>(num_weights));
+  for (uint64_t i = 0; i < num_weights; ++i) {
+    std::string name;
+    tensor::Tensor value;
+    GR_RETURN_IF_ERROR(r.String(&name));
+    GR_RETURN_IF_ERROR(r.Tensor(&value));
+    art.weights.emplace_back(std::move(name), std::move(value));
+  }
+
+  char end[sizeof(kEndMarker)] = {};
+  GR_RETURN_IF_ERROR(r.Bytes(end, sizeof(end)));
+  if (std::memcmp(end, kEndMarker, sizeof(kEndMarker)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s': missing end marker (truncated artifact?)",
+                  path.c_str()));
+  }
+  GR_RETURN_IF_ERROR(art.Validate());
+  return art;
+}
+
+}  // namespace serve
+}  // namespace graphrare

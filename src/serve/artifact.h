@@ -1,0 +1,89 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Deployable model artifact: everything a serving process needs to answer
+// node-classification queries, in one versioned binary file. A GraphRARE
+// run produces the co-trained backbone *and* the optimized topology — the
+// artifact packages both (plus the features the model was trained on and
+// enough metadata to rebuild the backbone) so inference never touches the
+// training stack.
+//
+// Binary layout (little-endian, schema kArtifactSchemaVersion):
+//
+//   "GRAREART"  magic (8 bytes)
+//   u32         schema version
+//   u32         backbone kind
+//   ModelOptions (fixed-width fields, see artifact.cc)
+//   u64         run seed
+//   string      dataset name (u64 length + bytes)
+//   graph       num_nodes, num_edges, canonical (u < v) edge list
+//   features    CSR: rows, cols, nnz, row_ptr, col_idx, values
+//   labels      count (0 = absent) + values
+//   weights     count, then per tensor: name, rows, cols, float32 data
+//   "GRAREEND"  end marker (truncation check)
+
+#ifndef GRAPHRARE_SERVE_ARTIFACT_H_
+#define GRAPHRARE_SERVE_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "nn/models.h"
+#include "tensor/sparse.h"
+
+namespace graphrare {
+namespace serve {
+
+/// Bump when the binary layout changes; Load rejects other versions.
+constexpr uint32_t kArtifactSchemaVersion = 1;
+
+/// A trained backbone + optimized graph + features, ready to serve.
+struct ModelArtifact {
+  nn::BackboneKind backbone = nn::BackboneKind::kGcn;
+  /// Architecture hyper-parameters the weights were trained under
+  /// (in_features/hidden/num_classes/... — MakeModel reconstructs from
+  /// these). model_options.seed is the init seed; weights override the
+  /// initialisation anyway.
+  nn::ModelOptions model_options;
+  /// Named parameter tensors (nn::Module::StateDict order).
+  nn::StateDict weights;
+  /// The optimized topology the model co-trained with (GraphRARE's G*).
+  graph::Graph graph;
+  /// Node features in CSR form — the same sparse matrix training fed the
+  /// model, so a served forward pass is bitwise the training-time one.
+  /// Shared so exporting from a Dataset and serving from an engine never
+  /// copy the matrix. Never null on a valid artifact.
+  std::shared_ptr<const tensor::CsrMatrix> features;
+  /// Ground-truth labels (may be empty; kept for offline evaluation).
+  std::vector<int64_t> labels;
+  std::string dataset_name;
+  /// Master seed of the producing run (provenance).
+  uint64_t seed = 0;
+
+  int64_t num_nodes() const { return graph.num_nodes(); }
+  int64_t num_classes() const { return model_options.num_classes; }
+
+  /// Structural consistency: non-empty weights, features row per node,
+  /// feature width == model_options.in_features, labels absent or one per
+  /// node with values in range.
+  Status Validate() const;
+
+  /// Rebuilds the backbone from `model_options` and loads `weights` into
+  /// it. The returned model is independent of this artifact.
+  Result<std::unique_ptr<nn::NodeClassifier>> MakeModel() const;
+
+  /// Writes the versioned binary file. Overwrites an existing file.
+  Status Save(const std::string& path) const;
+
+  /// Reads an artifact written by Save. Fails with NotFound on a missing
+  /// file and InvalidArgument on bad magic, wrong schema version, or a
+  /// truncated/corrupt payload.
+  static Result<ModelArtifact> Load(const std::string& path);
+};
+
+}  // namespace serve
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_SERVE_ARTIFACT_H_

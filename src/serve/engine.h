@@ -1,0 +1,124 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Batched inference over a loaded ModelArtifact. The engine is the serving
+// half of the train->artifact->serve pipeline: it rebuilds the backbone
+// once, precomputes the graph operators (and, in full-graph mode, the
+// entire logit matrix), and then answers read-only queries concurrently.
+//
+// Two execution modes, chosen by EngineOptions::fanouts:
+//
+//  * full-graph (empty fanouts): one forward pass over the whole optimized
+//    graph at load time; Predict is a row lookup + softmax. The cached
+//    logits are bitwise the training-time eval logits (same sparse
+//    features, same operators), which is what the artifact round-trip
+//    tests pin down.
+//
+//  * neighbor-sampled (non-empty fanouts): each query samples a
+//    fanout-bounded block around its nodes (data::NeighborSampler) and
+//    runs the forward on the block only, so per-query cost scales with
+//    the block, not the graph. Sampling is seeded per request index, so
+//    PredictBatch returns identical results no matter how many OpenMP
+//    threads execute it (or whether OpenMP is compiled in at all).
+
+#ifndef GRAPHRARE_SERVE_ENGINE_H_
+#define GRAPHRARE_SERVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/artifact.h"
+
+namespace graphrare {
+namespace serve {
+
+/// Inference configuration.
+struct EngineOptions {
+  /// Per-layer sampling fanouts. Empty = full-graph inference (exact).
+  /// -1 entries mean unlimited fanout at that layer.
+  std::vector<int64_t> fanouts;
+  /// Sample neighbors with replacement (see data::SamplerOptions).
+  bool sample_replace = false;
+  /// Base seed for the per-request sampling streams.
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// One node's answer: argmax class plus the full probability row.
+struct Prediction {
+  int64_t node = -1;
+  int64_t predicted_class = -1;
+  std::vector<float> probabilities;  ///< softmax over num_classes logits
+};
+
+/// Top-k (class, probability) pairs of an already-computed prediction,
+/// descending probability (ties broken by class id), k clamped to the
+/// class count. Use this to annotate a Prediction you already hold — in
+/// sampled mode a fresh engine.TopK() call would re-sample and could
+/// disagree with it.
+std::vector<std::pair<int64_t, float>> TopKOf(const Prediction& prediction,
+                                              int k);
+
+/// Loads an artifact once and serves batched node-classification queries.
+/// All query methods are const and safe to call from concurrent threads.
+class InferenceEngine {
+ public:
+  /// Takes ownership of the artifact, rebuilds the model, and precomputes
+  /// the serving state (operators; full logits in full-graph mode).
+  static Result<InferenceEngine> FromArtifact(ModelArtifact artifact,
+                                              EngineOptions options = {});
+
+  /// Convenience: ModelArtifact::Load + FromArtifact.
+  static Result<InferenceEngine> LoadFrom(const std::string& path,
+                                          EngineOptions options = {});
+
+  InferenceEngine(InferenceEngine&&) = default;
+  InferenceEngine& operator=(InferenceEngine&&) = default;
+
+  /// Answers one query of (possibly repeated) node ids. Fails on ids
+  /// outside [0, num_nodes()).
+  Result<std::vector<Prediction>> Predict(
+      const std::vector<int64_t>& node_ids) const;
+
+  /// Answers many queries; request r is evaluated exactly as
+  /// Predict-with-request-seed-r, with the requests distributed over
+  /// OpenMP threads. Results are positionally aligned with `requests` and
+  /// independent of thread count.
+  Result<std::vector<std::vector<Prediction>>> PredictBatch(
+      const std::vector<std::vector<int64_t>>& requests) const;
+
+  /// Top-k (class, probability) pairs for one node, descending
+  /// probability (ties broken by class id). k is clamped to num_classes.
+  Result<std::vector<std::pair<int64_t, float>>> TopK(int64_t node,
+                                                      int k) const;
+
+  int64_t num_nodes() const { return artifact_.num_nodes(); }
+  int64_t num_classes() const { return artifact_.num_classes(); }
+  bool full_graph_mode() const { return options_.fanouts.empty(); }
+  const ModelArtifact& artifact() const { return artifact_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// The precomputed logit matrix (full-graph mode only; one row per
+  /// node). This is the bitwise-equality hook for artifact tests.
+  const tensor::Tensor& FullLogits() const;
+
+ private:
+  InferenceEngine(ModelArtifact artifact, EngineOptions options);
+
+  /// Evaluates one request with the sampling stream for `request_seed`.
+  Result<std::vector<Prediction>> PredictWithSeed(
+      const std::vector<int64_t>& node_ids, uint64_t request_seed) const;
+
+  ModelArtifact artifact_;
+  EngineOptions options_;
+  std::unique_ptr<nn::NodeClassifier> model_;
+  tensor::Tensor full_logits_;  ///< empty in sampled mode
+};
+
+}  // namespace serve
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_SERVE_ENGINE_H_

@@ -2,7 +2,7 @@
 //
 // Build/link smoke test (CTest label: smoke). Touches at least one symbol
 // that is *defined in a .cc file* of every module library, so the test only
-// links if all eight archives resolve together in the declared dependency
+// links if all nine archives resolve together in the declared dependency
 // order. Per-suite builds can hide a missing-symbol or link-order
 // regression in a module they never call; this suite exists to catch it.
 
@@ -16,6 +16,7 @@
 #include "graph/graph.h"
 #include "nn/models.h"
 #include "rl/ppo.h"
+#include "serve/engine.h"
 #include "tensor/tensor.h"
 
 namespace graphrare {
@@ -59,6 +60,11 @@ TEST(BuildSanity, LinksEveryModuleLibrary) {
   // rl (ppo.cc)
   rl::PpoAgent agent(core::kObservationDim, rl::PpoOptions{});
   EXPECT_FALSE(agent.ReadyToUpdate());
+
+  // serve (artifact.cc / engine.cc)
+  EXPECT_EQ(serve::ModelArtifact{}.Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(serve::EngineOptions{}.Validate().ok());
 
   // core (experiment.cc)
   EXPECT_FALSE(core::BenchFullScale());

@@ -67,6 +67,85 @@ TEST(DatasetIoTest, CorruptHeader) {
   std::remove(path.c_str());
 }
 
+// The loader reports the 1-based line of the first malformed token, so a
+// truncated or hand-edited file points straight at the problem.
+TEST(DatasetIoTest, TruncatedLabelsReportsLineNumber) {
+  const std::string path = TempPath("ds_short_labels.txt");
+  std::ofstream(path) << "# graphrare-dataset v1\n"
+                      << "name tiny\n"
+                      << "nodes 4 edges 1 features 2 classes 2\n"
+                      << "labels\n"
+                      << "0 1 0\n";  // promises 4 labels, line 5 has 3
+  const Status s = data::LoadDataset(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 5"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, OutOfRangeLabelReportsLineNumber) {
+  const std::string path = TempPath("ds_bad_label.txt");
+  std::ofstream(path) << "# graphrare-dataset v1\n"
+                      << "name tiny\n"
+                      << "nodes 2 edges 0 features 2 classes 2\n"
+                      << "labels\n"
+                      << "0 9\n";  // 9 >= num_classes
+  const Status s = data::LoadDataset(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 5"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedEdgeSectionReportsLastLine) {
+  const std::string path = TempPath("ds_short_edges.txt");
+  std::ofstream(path) << "# graphrare-dataset v1\n"
+                      << "name tiny\n"
+                      << "nodes 3 edges 2 features 2 classes 2\n"
+                      << "labels\n"
+                      << "0 1 0\n"
+                      << "edges\n"
+                      << "0 1\n";  // promises 2 edges, file ends
+  const Status s = data::LoadDataset(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 7"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("found 1"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MalformedFeatureEntryReportsLineNumber) {
+  const std::string path = TempPath("ds_bad_feature.txt");
+  std::ofstream(path) << "# graphrare-dataset v1\n"
+                      << "name tiny\n"
+                      << "nodes 2 edges 1 features 2 classes 2\n"
+                      << "labels\n"
+                      << "0 1\n"
+                      << "edges\n"
+                      << "0 1\n"
+                      << "features\n"
+                      << "0 7\n"  // dim 7 >= 2, line 9
+                      << "end\n";
+  const Status s = data::LoadDataset(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 9"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingEndMarkerRejected) {
+  const std::string path = TempPath("ds_no_end.txt");
+  std::ofstream(path) << "# graphrare-dataset v1\n"
+                      << "name tiny\n"
+                      << "nodes 2 edges 1 features 2 classes 2\n"
+                      << "labels\n"
+                      << "0 1\n"
+                      << "edges\n"
+                      << "0 1\n"
+                      << "features\n"
+                      << "0 1\n";  // no "end"
+  const Status s = data::LoadDataset(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("end"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
 TEST(DatasetIoTest, HomophilyPreservedThroughRoundTrip) {
   data::Dataset ds = Small(52);
   const std::string path = TempPath("ds_h.txt");

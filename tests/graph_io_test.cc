@@ -49,6 +49,8 @@ TEST(GraphIoTest, MalformedHeaderRejected) {
   auto r = LoadGraph(path);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().ToString();
   std::remove(path.c_str());
 }
 
@@ -57,6 +59,42 @@ TEST(GraphIoTest, TruncatedEdgeListRejected) {
   std::ofstream(path) << "4 3\n0 1\n1 2\n";  // promises 3 edges, has 2
   auto r = LoadGraph(path);
   EXPECT_FALSE(r.ok());
+  // Truncation is reported with where the file actually ended.
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("found 2"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MalformedEdgeReportsItsLine) {
+  const std::string path = TempPath("bad_edge.graph");
+  std::ofstream(path) << "4 2\n0 1\n2 x\n";  // line 3 is not 'u v'
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TrailingJunkOnHeaderRejected) {
+  const std::string path = TempPath("junk_header.graph");
+  std::ofstream(path) << "4 1 extra\n0 1\n";
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyFileRejected) {
+  const std::string path = TempPath("empty_file.graph");
+  std::ofstream out(path);
+  out.close();
+  auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 
