@@ -1,9 +1,15 @@
 // google-benchmark microbenchmarks of the library's hot kernels: dense
-// matmul, SpMM, GCN forward/backward, relative-entropy construction, graph
-// editing, and one PPO update. These back the Table VI timing analysis at
-// kernel granularity.
+// matmul (all three transpose variants), SpMM, GCN forward/backward,
+// relative-entropy construction, graph editing, and one PPO update. These
+// back the Table VI timing analysis at kernel granularity and feed the
+// cross-PR perf trajectory: every run writes BENCH_micro_kernels.json
+// (google-benchmark's JSON schema) next to the working directory.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/graphrare.h"
 
@@ -20,7 +26,56 @@ void BM_DenseMatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The backward-pass kernels: dW = X^T G (TransA, reduction over the large
+// node dimension) and dX = G W^T (TransB). Shapes mimic a dense layer
+// backward at n nodes with 256-in/64-out features.
+void BM_DenseMatMulTransA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor x = tensor::Tensor::Randn(n, 256, &rng);
+  tensor::Tensor g = tensor::Tensor::Randn(n, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMulTransA(x, g));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 256 * 64);
+}
+BENCHMARK(BM_DenseMatMulTransA)->Arg(512)->Arg(2000)->Arg(8000);
+
+void BM_DenseMatMulTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor g = tensor::Tensor::Randn(n, 64, &rng);
+  tensor::Tensor w = tensor::Tensor::Randn(256, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMulTransB(g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 256);
+}
+BENCHMARK(BM_DenseMatMulTransB)->Arg(512)->Arg(2000)->Arg(8000);
+
+// Fused cross-entropy (log-softmax + NLL in one pass) at training shapes.
+void BM_FusedCrossEntropy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  tensor::Tensor logits_val = tensor::Tensor::Randn(n, 16, &rng);
+  std::vector<int64_t> index(static_cast<size_t>(n));
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    index[static_cast<size_t>(i)] = i;
+    labels[static_cast<size_t>(i)] =
+        static_cast<int64_t>(rng.UniformInt(16));
+  }
+  for (auto _ : state) {
+    tensor::Variable logits(logits_val, /*requires_grad=*/true);
+    tensor::Variable loss = tensor::ops::CrossEntropy(logits, index, labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_FusedCrossEntropy)->Arg(2000)->Arg(8000);
 
 void BM_SpMM(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -125,4 +180,37 @@ BENCHMARK(BM_PpoUpdate)->Arg(500)->Arg(2000)->Arg(8000);
 }  // namespace
 }  // namespace graphrare
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with JSON output on by default: unless the caller passes
+// their own --benchmark_out, the run is also recorded to
+// BENCH_micro_kernels.json for the cross-PR perf trajectory (the console
+// table is unchanged and every --benchmark_* flag still works).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Match only the output-file flag itself — "--benchmark_out_format"
+    // alone must not suppress the default JSON file.
+    const std::string arg(argv[i]);
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) {
+    std::printf(
+        "machine-readable results written to BENCH_micro_kernels.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// End-to-end training-epoch benchmark on the 10k-node synthetic config:
+// the number that tracks whether kernel work (blocked GEMM, fused ops,
+// buffer pooling, parallel reductions) actually moves the training hot
+// path, not just microbenchmarks. Covers the full-graph trainer for the
+// dense-heavy backbones (GCN, SAGE, MLP) and one neighbor-sampled
+// mini-batch epoch (sampling + per-block CSR assembly + block steps), and
+// reports tensor-pool hit rates so allocator churn shows up in the
+// trajectory too.
+//
+// Writes BENCH_train_epoch.json. Quick mode times a handful of epochs;
+// GRARE_BENCH_FULL=1 runs more epochs for tighter numbers.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "core/graphrare.h"
+
+namespace graphrare {
+namespace bench {
+namespace {
+
+// Mirrors the micro_kernels BenchDataset shape (256 dense-ish features) at
+// 10k nodes, so the dense layers dominate the way they do in real runs.
+data::Dataset EpochDataset(int64_t num_nodes) {
+  data::GeneratorOptions o;
+  o.name = StrFormat("synthetic-%lldk",
+                     static_cast<long long>(num_nodes / 1000));
+  o.num_nodes = num_nodes;
+  o.num_edges = 4 * num_nodes;
+  o.num_features = 256;
+  o.num_classes = 5;
+  o.homophily = 0.4;
+  o.feature_signal = 8.0;
+  o.feature_density = 0.05;
+  o.seed = 3;
+  auto result = data::GenerateDataset(o);
+  GR_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+struct EpochReport {
+  double seconds_per_epoch = 0.0;
+  double last_loss = 0.0;
+};
+
+EpochReport TimeFullGraphEpochs(nn::BackboneKind backbone,
+                                const data::Dataset& ds,
+                                const std::vector<int64_t>& train_idx,
+                                int epochs) {
+  nn::ModelOptions mo;
+  mo.in_features = ds.num_features();
+  mo.hidden = 64;
+  mo.num_classes = ds.num_classes;
+  mo.seed = 7;
+  auto model = nn::MakeModel(backbone, mo);
+  nn::ClassifierTrainer::Options to;
+  to.adam.lr = 0.01f;
+  to.seed = 7;
+  nn::ClassifierTrainer trainer(model.get(),
+                                nn::LayerInput::Sparse(ds.FeaturesCsr()),
+                                &ds.labels, to);
+  trainer.TrainEpoch(ds.graph, train_idx);  // warm caches + graph operators
+  EpochReport report;
+  Stopwatch watch;
+  for (int e = 0; e < epochs; ++e) {
+    report.last_loss = trainer.TrainEpoch(ds.graph, train_idx).loss;
+  }
+  report.seconds_per_epoch = watch.ElapsedSeconds() / epochs;
+  return report;
+}
+
+EpochReport TimeMiniBatchEpochs(const data::Dataset& ds,
+                                const std::vector<int64_t>& train_idx,
+                                int epochs) {
+  nn::ModelOptions mo;
+  mo.in_features = ds.num_features();
+  mo.hidden = 64;
+  mo.num_classes = ds.num_classes;
+  mo.seed = 7;
+  auto model = nn::MakeModel(nn::BackboneKind::kSage, mo);
+  nn::MiniBatchTrainer::Options to;
+  to.adam.lr = 0.01f;
+  to.seed = 7;
+  nn::MiniBatchTrainer trainer(model.get(), ds.FeaturesCsr(), &ds.labels, to);
+  data::SamplerOptions so;
+  so.fanouts = {10, 10};
+  so.seed = 21;
+  data::NeighborSampler sampler(&ds.graph, so);
+  Rng shuffle_rng(7);
+  EpochReport report;
+  Stopwatch watch;
+  for (int e = 0; e < epochs; ++e) {
+    const auto batches = data::NeighborSampler::MakeBatches(
+        train_idx, /*batch_size=*/1024, /*shuffle=*/true, &shuffle_rng);
+    for (const auto& batch : batches) {
+      report.last_loss = trainer.TrainBatch(sampler.SampleBlock(batch)).loss;
+    }
+  }
+  report.seconds_per_epoch = watch.ElapsedSeconds() / epochs;
+  return report;
+}
+
+}  // namespace
+
+int Main() {
+  PrintBanner("end-to-end training epoch (10k-node synthetic)",
+              "beyond-paper: kernel-layer perf trajectory");
+
+  const int64_t num_nodes = 10000;
+  const int epochs = core::BenchFullScale() ? 40 : 10;
+  data::Dataset ds = EpochDataset(num_nodes);
+  data::SplitOptions so;
+  so.num_splits = 1;
+  so.seed = 11;
+  const auto splits = data::MakeSplits(ds.labels, ds.num_classes, so);
+  const std::vector<int64_t>& train_idx = splits[0].train;
+
+  BenchJson json("train_epoch");
+  PrintRow("config", {"s/epoch", "epochs", "loss"}, 24, 12);
+
+  const struct {
+    const char* name;
+    nn::BackboneKind backbone;
+  } kFullConfigs[] = {
+      {"gcn/full", nn::BackboneKind::kGcn},
+      {"sage/full", nn::BackboneKind::kSage},
+      {"mlp/full", nn::BackboneKind::kMlp},
+  };
+  for (const auto& cfg : kFullConfigs) {
+    const EpochReport r =
+        TimeFullGraphEpochs(cfg.backbone, ds, train_idx, epochs);
+    PrintRow(cfg.name,
+             {StrFormat("%.4f", r.seconds_per_epoch),
+              StrFormat("%d", epochs), StrFormat("%.4f", r.last_loss)},
+             24, 12);
+    json.BeginConfig()
+        .Field("config", cfg.name)
+        .Field("nodes", num_nodes)
+        .Field("epochs", epochs)
+        .Field("seconds_per_epoch", r.seconds_per_epoch)
+        .Field("last_loss", r.last_loss);
+  }
+
+  const EpochReport mb = TimeMiniBatchEpochs(ds, train_idx, epochs);
+  PrintRow("sage/minibatch",
+           {StrFormat("%.4f", mb.seconds_per_epoch), StrFormat("%d", epochs),
+            StrFormat("%.4f", mb.last_loss)},
+           24, 12);
+  json.BeginConfig()
+      .Field("config", "sage/minibatch")
+      .Field("nodes", num_nodes)
+      .Field("epochs", epochs)
+      .Field("seconds_per_epoch", mb.seconds_per_epoch)
+      .Field("last_loss", mb.last_loss);
+
+  // Pool effectiveness over the whole run: a healthy hot path acquires
+  // nearly every buffer from the free list.
+  const tensor::TensorPool::Stats pool = tensor::TensorPool::GetStats();
+  const double total =
+      static_cast<double>(pool.hits) + static_cast<double>(pool.misses);
+  std::printf("\ntensor pool: %s, hit rate %.1f%% (%llu hits, %llu misses, "
+              "%.1f MiB cached)\n",
+              tensor::TensorPool::Enabled() ? "enabled" : "disabled",
+              total > 0 ? 100.0 * static_cast<double>(pool.hits) / total : 0.0,
+              static_cast<unsigned long long>(pool.hits),
+              static_cast<unsigned long long>(pool.misses),
+              static_cast<double>(pool.cached_bytes) / (1024.0 * 1024.0));
+  json.BeginConfig()
+      .Field("config", "tensor_pool")
+      .Field("enabled", tensor::TensorPool::Enabled())
+      .Field("pool_hits", static_cast<int64_t>(pool.hits))
+      .Field("pool_misses", static_cast<int64_t>(pool.misses))
+      .Field("peak_rss_mib", PeakRssMiB());
+
+  json.Write();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace graphrare
+
+int main() { return graphrare::bench::Main(); }

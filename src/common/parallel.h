@@ -1,0 +1,130 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Shared parallel-loop and deterministic-reduction primitives. Every OpenMP
+// use in the hot paths (tensor kernels, neighbor sampling, batched
+// inference) goes through these helpers so the repo's determinism contract
+// lives in one place:
+//
+//   * ParallelFor / ParallelForDynamic — each chunk writes outputs that
+//     depend only on its own indices, so any schedule and any thread count
+//     produce identical results. Dynamic scheduling is for irregular
+//     per-index cost (sampling hubs, mixed-size requests); static is for
+//     uniform work (dense kernels).
+//   * ParallelReduce — the reduction is defined over FIXED index blocks,
+//     never over threads: [0, n) is split into ceil(n / block) blocks whose
+//     boundaries depend only on n and block, partials are computed per
+//     block (possibly concurrently) and combined in ascending block order.
+//     The result is therefore bitwise identical for any OMP_NUM_THREADS and
+//     for OpenMP-disabled builds.
+//
+// Passing grain >= n (or block >= n) forces the serial inline path, which
+// is how call sites express "too small to be worth a team".
+
+#ifndef GRAPHRARE_COMMON_PARALLEL_H_
+#define GRAPHRARE_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace graphrare {
+
+/// Runs body(begin, end) over disjoint chunks covering [0, n), each at most
+/// `grain` long, with static scheduling. body must be pure per index: no
+/// chunk may read state another chunk writes.
+template <typename Body>
+void ParallelFor(int64_t n, int64_t grain, Body&& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+#ifdef _OPENMP
+  if (n > grain) {
+    const int64_t chunks = (n + grain - 1) / grain;
+#pragma omp parallel for schedule(static)
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t begin = c * grain;
+      body(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+#endif
+  body(0, n);
+}
+
+/// ParallelFor with dynamic scheduling: same purity contract and the same
+/// results, but chunks are handed to threads on demand, which balances
+/// irregular per-index cost (hub-node sampling, mixed-size serve requests).
+template <typename Body>
+void ParallelForDynamic(int64_t n, int64_t grain, Body&& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+#ifdef _OPENMP
+  if (n > grain) {
+    const int64_t chunks = (n + grain - 1) / grain;
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t begin = c * grain;
+      body(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+#endif
+  body(0, n);
+}
+
+/// Deterministic fixed-block reduction over [0, n).
+///
+/// map(begin, end) -> T computes the partial for one block; combine(acc,
+/// partial) -> T folds partials together. Blocks are [b*block, (b+1)*block)
+/// regardless of thread count, and combine is applied in ascending block
+/// order, so the result is a pure function of (n, block, map, combine) —
+/// bitwise reproducible under any OMP_NUM_THREADS and in OpenMP-off builds.
+/// Note the value may differ from a single-pass serial fold when combine is
+/// a non-associative float accumulation: the fixed block structure *is* the
+/// numeric spec callers commit to.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(int64_t n, int64_t block, T init, Map&& map,
+                 Combine&& combine) {
+  if (n <= 0) return init;
+  if (block < 1) block = 1;
+  const int64_t num_blocks = (n + block - 1) / block;
+#ifdef _OPENMP
+  if (num_blocks > 1) {
+    // Blocks are processed in bounded windows so at most kMaxInFlight
+    // partials are alive at once (a million-row reduction must not hold
+    // thousands of partial tensors). Windowing changes only *when* a
+    // partial is computed; the combine below still walks blocks in
+    // ascending order, so the result is unchanged by the window size.
+    constexpr int64_t kMaxInFlight = 64;
+    T acc = std::move(init);
+    std::vector<T> partials;
+    for (int64_t w0 = 0; w0 < num_blocks; w0 += kMaxInFlight) {
+      const int64_t w1 = std::min(num_blocks, w0 + kMaxInFlight);
+      partials.clear();
+      partials.resize(static_cast<size_t>(w1 - w0));
+#pragma omp parallel for schedule(static)
+      for (int64_t b = w0; b < w1; ++b) {
+        const int64_t begin = b * block;
+        partials[static_cast<size_t>(b - w0)] =
+            map(begin, std::min(n, begin + block));
+      }
+      for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+    }
+    return acc;
+  }
+#endif
+  T acc = std::move(init);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const int64_t begin = b * block;
+    acc = combine(std::move(acc), map(begin, std::min(n, begin + block)));
+  }
+  return acc;
+}
+
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_COMMON_PARALLEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -131,19 +132,20 @@ graph::Subgraph NeighborSampler::SampleBlock(
     }
     const int64_t fanout = options_.fanouts[layer];
     // Per-frontier-node draws are independent streams, so the expansion
-    // parallelises without any cross-thread RNG state.
+    // parallelises without any cross-thread RNG state; dynamic chunking
+    // balances hub nodes. Small frontiers stay serial (grain == n).
+    const int64_t fsize = static_cast<int64_t>(frontier.size());
     std::vector<std::vector<int64_t>> sampled(frontier.size());
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 64) \
-    if (frontier.size() > size_t{256})
-#endif
-    for (int64_t i = 0; i < static_cast<int64_t>(frontier.size()); ++i) {
-      const int64_t u = frontier[static_cast<size_t>(i)];
-      Rng rng(StreamSeed(options_.seed, block, layer,
-                         static_cast<uint64_t>(u)));
-      sampled[static_cast<size_t>(i)] =
-          SampleNeighbors(*graph_, u, fanout, options_.replace, &rng);
-    }
+    ParallelForDynamic(fsize, fsize > 256 ? 64 : fsize,
+                       [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const int64_t u = frontier[static_cast<size_t>(i)];
+        Rng rng(StreamSeed(options_.seed, block, layer,
+                           static_cast<uint64_t>(u)));
+        sampled[static_cast<size_t>(i)] =
+            SampleNeighbors(*graph_, u, fanout, options_.replace, &rng);
+      }
+    });
     // Serial merge in frontier order keeps the result independent of the
     // thread schedule.
     std::vector<int64_t> next;

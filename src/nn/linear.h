@@ -35,6 +35,14 @@ class Linear : public Module {
     return y;
   }
 
+  /// y = relu(x W + b) through the fused bias+ReLU kernel: same bits as
+  /// Relu(Forward(x)), one fewer tape node and backward sweep. Models call
+  /// this wherever an activation directly follows the affine layer.
+  tensor::Variable ForwardRelu(const tensor::Variable& x) const {
+    if (!use_bias_) return tensor::ops::Relu(Forward(x));
+    return tensor::ops::AddBiasRelu(tensor::ops::MatMul(x, weight_), bias_);
+  }
+
   /// Sparse-input forward: y = X_sparse W + b. Gradients flow into W only
   /// (the data matrix is constant), which is exactly the first-layer case.
   tensor::Variable ForwardSparse(
@@ -42,6 +50,13 @@ class Linear : public Module {
     tensor::Variable y = tensor::ops::SpMM(x, weight_);
     if (use_bias_) y = tensor::ops::AddBias(y, bias_);
     return y;
+  }
+
+  /// Fused relu(X_sparse W + b); see ForwardRelu.
+  tensor::Variable ForwardSparseRelu(
+      const std::shared_ptr<const tensor::CsrMatrix>& x) const {
+    if (!use_bias_) return tensor::ops::Relu(ForwardSparse(x));
+    return tensor::ops::AddBiasRelu(tensor::ops::SpMM(x, weight_), bias_);
   }
 
   const tensor::Variable& weight() const { return weight_; }

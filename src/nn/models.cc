@@ -95,12 +95,19 @@ MlpModel::MlpModel(const ModelOptions& options) : dropout_(options.dropout) {
 
 Variable MlpModel::Logits(const ModelInputs& in, bool training,
                           Rng* rng) const {
+  // Hidden layers take the fused bias+ReLU forward; the last layer emits
+  // raw logits.
+  const bool last_is_0 = layers_.size() == 1;
   Variable h = in.features.is_sparse()
-                   ? layers_[0]->ForwardSparse(in.features.sparse)
-                   : layers_[0]->Forward(in.features.dense);
+                   ? (last_is_0 ? layers_[0]->ForwardSparse(in.features.sparse)
+                                : layers_[0]->ForwardSparseRelu(
+                                      in.features.sparse))
+                   : (last_is_0 ? layers_[0]->Forward(in.features.dense)
+                                : layers_[0]->ForwardRelu(in.features.dense));
   for (size_t l = 1; l < layers_.size(); ++l) {
-    h = MaybeDropout(ops::Relu(h), dropout_, training, rng);
-    h = layers_[l]->Forward(h);
+    h = MaybeDropout(h, dropout_, training, rng);
+    h = l + 1 < layers_.size() ? layers_[l]->ForwardRelu(h)
+                               : layers_[l]->Forward(h);
   }
   return h;
 }
@@ -240,9 +247,9 @@ H2GcnModel::H2GcnModel(const ModelOptions& options)
 Variable H2GcnModel::Logits(const ModelInputs& in, bool training,
                             Rng* rng) const {
   GR_CHECK(in.graph != nullptr);
-  Variable h0 = ops::Relu(in.features.is_sparse()
-                              ? embed_->ForwardSparse(in.features.sparse)
-                              : embed_->Forward(in.features.dense));
+  Variable h0 = in.features.is_sparse()
+                    ? embed_->ForwardSparseRelu(in.features.sparse)
+                    : embed_->ForwardRelu(in.features.dense);
   std::vector<Variable> reps = {h0};
   Variable h = h0;
   for (int r = 0; r < num_rounds_; ++r) {
@@ -297,9 +304,9 @@ AppnpModel::AppnpModel(const ModelOptions& options)
 Variable AppnpModel::Logits(const ModelInputs& in, bool training,
                             Rng* rng) const {
   GR_CHECK(in.graph != nullptr);
-  Variable h = ops::Relu(in.features.is_sparse()
-                             ? lin1_->ForwardSparse(in.features.sparse)
-                             : lin1_->Forward(in.features.dense));
+  Variable h = in.features.is_sparse()
+                   ? lin1_->ForwardSparseRelu(in.features.sparse)
+                   : lin1_->ForwardRelu(in.features.dense);
   h = MaybeDropout(h, dropout_, training, rng);
   Variable h0 = lin2_->Forward(h);
   // Personalised PageRank: z <- (1-alpha) A z + alpha h0.

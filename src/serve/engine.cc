@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "data/sampler.h"
 #include "graph/subgraph.h"
@@ -148,19 +149,19 @@ Result<std::vector<std::vector<Prediction>>> InferenceEngine::PredictBatch(
   const int64_t n = static_cast<int64_t>(requests.size());
   std::vector<std::vector<Prediction>> out(requests.size());
   std::vector<Status> statuses(requests.size());
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1)
-#endif
-  for (int64_t r = 0; r < n; ++r) {
-    auto result =
-        PredictWithSeed(requests[static_cast<size_t>(r)],
-                        static_cast<uint64_t>(r));
-    if (result.ok()) {
-      out[static_cast<size_t>(r)] = std::move(result).value();
-    } else {
-      statuses[static_cast<size_t>(r)] = result.status();
+  // Requests are seeded by their index, so any schedule produces the same
+  // batch; dynamic chunking absorbs mixed query sizes.
+  ParallelForDynamic(n, 1, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      auto result = PredictWithSeed(requests[static_cast<size_t>(r)],
+                                    static_cast<uint64_t>(r));
+      if (result.ok()) {
+        out[static_cast<size_t>(r)] = std::move(result).value();
+      } else {
+        statuses[static_cast<size_t>(r)] = result.status();
+      }
     }
-  }
+  });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }

@@ -99,6 +99,14 @@ void Variable::Backward() const {
     if (n->backward && n->grad.numel() == n->value.numel()) {
       n->backward(n);
     }
+    // An interior node's grad is fully consumed once its own backward has
+    // run (consumers ran earlier in this loop), so hand the buffer back to
+    // the tensor pool immediately — the very next EnsureGrad in this pass
+    // typically reuses it. Leaf grads are the product of Backward and the
+    // root's seed stays for inspection.
+    if (!n->is_leaf && n != node_.get()) {
+      n->grad = Tensor();
+    }
   }
 }
 

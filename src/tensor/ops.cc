@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace graphrare {
 namespace tensor {
 namespace ops {
@@ -77,6 +79,71 @@ Variable AddBias(const Variable& a, const Variable& bias) {
     Accumulate(n->parents[0], n->grad);
     if (n->parents[1]->requires_grad) {
       Accumulate(n->parents[1], ColSum(n->grad));
+    }
+  });
+}
+
+Variable AddBiasRelu(const Variable& a, const Variable& bias) {
+  GR_CHECK_EQ(bias.value().rows(), 1);
+  GR_CHECK_EQ(bias.value().cols(), a.value().cols());
+  Tensor out = a.value();
+  const float* pb = bias.value().data();
+  const int64_t cols = out.cols();
+  {
+    float* po = out.data();
+    ParallelFor(out.rows(), 256, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        float* pr = po + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          const float v = pr[c] + pb[c];
+          pr[c] = v > 0.0f ? v : 0.0f;
+        }
+      }
+    });
+  }
+  // The mask is recoverable from the saved output (y > 0 iff x > 0), so no
+  // extra buffer is captured.
+  return MakeOpNode(std::move(out), {a, bias}, [](AutogradNode* n) {
+    const Tensor& y = n->value;
+    const int64_t rows = y.rows();
+    const int64_t cols = y.cols();
+    if (n->parents[0]->requires_grad) {
+      n->parents[0]->EnsureGrad();
+      Tensor& pg = n->parents[0]->grad;
+      ParallelFor(rows, 256, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* gy = n->grad.row(r);
+          const float* py = y.row(r);
+          float* pgr = pg.row(r);
+          for (int64_t c = 0; c < cols; ++c) {
+            if (py[c] > 0.0f) pgr[c] += gy[c];
+          }
+        }
+      });
+    }
+    if (n->parents[1]->requires_grad) {
+      // Masked column sums with the same fixed row-block structure as
+      // ColSum, so the fused path stays bitwise equal to the
+      // Relu -> AddBias backward chain at any size.
+      Tensor db = ParallelReduce<Tensor>(
+          rows, kColSumRowBlock, Tensor(1, cols),
+          [&](int64_t r0, int64_t r1) {
+            Tensor partial(1, cols);
+            float* po = partial.data();
+            for (int64_t r = r0; r < r1; ++r) {
+              const float* gy = n->grad.row(r);
+              const float* py = y.row(r);
+              for (int64_t c = 0; c < cols; ++c) {
+                if (py[c] > 0.0f) po[c] += gy[c];
+              }
+            }
+            return partial;
+          },
+          [](Tensor acc, Tensor partial) {
+            acc.AddInPlace(partial);
+            return acc;
+          });
+      Accumulate(n->parents[1], db);
     }
   });
 }
@@ -324,6 +391,70 @@ Variable NllLoss(const Variable& logp, const std::vector<int64_t>& labels) {
                         pg.at(i, labels[static_cast<size_t>(i)]) -= scale;
                       }
                     });
+}
+
+Variable LogSoftmaxNll(const Variable& logits, std::vector<int64_t> index,
+                       std::vector<int64_t> labels) {
+  GR_CHECK_EQ(index.size(), labels.size());
+  GR_CHECK(!index.empty());
+  const Tensor& x = logits.value();
+  const int64_t m = static_cast<int64_t>(index.size());
+  const int64_t cols = x.cols();
+  GR_CHECK_GT(cols, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    GR_CHECK(index[static_cast<size_t>(i)] >= 0 &&
+             index[static_cast<size_t>(i)] < x.rows())
+        << "gather index out of range";
+    GR_CHECK(labels[static_cast<size_t>(i)] >= 0 &&
+             labels[static_cast<size_t>(i)] < cols)
+        << "label out of range";
+  }
+
+  // One pass per selected row: row max, log partition, and the picked
+  // log-probability. log_z is saved so backward can rebuild the softmax
+  // factors from the parent's logits without a stored (m, c) matrix.
+  Tensor logz(m, 1);
+  Tensor picked(m, 1);
+  ParallelFor(m, 256, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* px = x.row(index[static_cast<size_t>(i)]);
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t c = 0; c < cols; ++c) mx = std::max(mx, px[c]);
+      double lse = 0.0;
+      for (int64_t c = 0; c < cols; ++c) lse += std::exp(px[c] - mx);
+      const float log_z = mx + static_cast<float>(std::log(lse));
+      logz.at(i, 0) = log_z;
+      picked.at(i, 0) = px[labels[static_cast<size_t>(i)]] - log_z;
+    }
+  });
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) loss -= picked.at(i, 0);
+  loss /= static_cast<double>(m);
+
+  return MakeOpNode(
+      Tensor::Scalar(static_cast<float>(loss)), {logits},
+      [index = std::move(index), labels = std::move(labels),
+       logz = std::move(logz)](AutogradNode* n) {
+        if (!n->parents[0]->requires_grad) return;
+        const Tensor& x = n->parents[0]->value;
+        const int64_t cols = x.cols();
+        const float g = n->grad.scalar();
+        const float scale = g / static_cast<float>(index.size());
+        n->parents[0]->EnsureGrad();
+        Tensor& pg = n->parents[0]->grad;
+        // Serial over the selection: duplicate indices must accumulate in
+        // a fixed order.
+        for (size_t i = 0; i < index.size(); ++i) {
+          const int64_t r = index[i];
+          const float lz = logz.at(static_cast<int64_t>(i), 0);
+          const float* px = x.row(r);
+          float* pgr = pg.row(r);
+          for (int64_t c = 0; c < cols; ++c) {
+            pgr[c] += scale * std::exp(px[c] - lz);
+          }
+          pgr[labels[i]] -= scale;
+        }
+      });
 }
 
 Variable SumAll(const Variable& a) {
@@ -622,11 +753,10 @@ Variable Min(const Variable& a, const Variable& b) {
 
 Variable CrossEntropy(const Variable& logits, const std::vector<int64_t>& index,
                       const std::vector<int64_t>& labels) {
-  GR_CHECK_EQ(index.size(), labels.size());
-  GR_CHECK(!index.empty());
-  Variable logp = LogSoftmaxRows(logits);
-  Variable sel = GatherRows(logp, index);
-  return NllLoss(sel, labels);
+  // Fused kernel: bitwise the LogSoftmaxRows -> GatherRows -> NllLoss chain
+  // without materialising the (m, c) log-probability matrix or touching
+  // unselected rows in the backward pass.
+  return LogSoftmaxNll(logits, index, labels);
 }
 
 Variable MseLoss(const Variable& a, const Variable& b) {

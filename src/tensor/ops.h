@@ -30,6 +30,11 @@ Variable Sub(const Variable& a, const Variable& b);
 Variable Mul(const Variable& a, const Variable& b);
 /// a + bias, bias shape (1, n) broadcast over rows of a (m, n).
 Variable AddBias(const Variable& a, const Variable& bias);
+/// Fused relu(a + bias): one pass forward, and one backward sweep that
+/// produces both d_a and the bias column sums. Bitwise identical to
+/// Relu(AddBias(a, bias)) — the fusion only removes the intermediate tape
+/// node and its buffers from the dense-layer hot path.
+Variable AddBiasRelu(const Variable& a, const Variable& bias);
 /// c * a for a compile-time constant c.
 Variable Scale(const Variable& a, float c);
 /// a + c elementwise.
@@ -71,6 +76,19 @@ Variable SoftmaxRows(const Variable& a);
 /// Negative log-likelihood over *all* rows of logp (m, c) with integer
 /// labels (size m): -(1/m) sum_i logp[i, labels[i]]. Returns a scalar.
 Variable NllLoss(const Variable& logp, const std::vector<int64_t>& labels);
+
+/// Fused log-softmax + NLL over the rows of `logits` selected by `index`
+/// (labels[i] is the class of row index[i]); mean reduction over the
+/// selection. One pass per selected row — the (m, c) log-probability matrix
+/// of the LogSoftmaxRows/GatherRows/NllLoss chain is never materialised and
+/// the backward touches only the selected rows. For distinct indices (every
+/// real call site: train/seed node sets) the loss and gradients match that
+/// chain bitwise; duplicate indices still accumulate correctly (one
+/// occurrence at a time, in index order) but may differ from the chain in
+/// the last ulp, since the chain folds duplicates into one row update.
+/// CrossEntropy routes here.
+Variable LogSoftmaxNll(const Variable& logits, std::vector<int64_t> index,
+                       std::vector<int64_t> labels);
 
 // -- Reductions -----------------------------------------------------------
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace graphrare {
 namespace tensor {
 
@@ -47,10 +49,18 @@ CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
 }
 
 CsrMatrix CsrMatrix::Identity(int64_t n) {
-  std::vector<CooEntry> entries;
-  entries.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) entries.push_back({i, i, 1.0f});
-  return FromCoo(n, n, std::move(entries));
+  GR_CHECK_GE(n, 0);
+  // Direct CSR assembly: the diagonal is already sorted and duplicate-free,
+  // so the COO round trip (and its O(n log n) sort) is pure overhead.
+  CsrMatrix m;
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_ptr_.resize(static_cast<size_t>(n) + 1);
+  for (int64_t i = 0; i <= n; ++i) m.row_ptr_[static_cast<size_t>(i)] = i;
+  m.col_idx_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) m.col_idx_[static_cast<size_t>(i)] = i;
+  m.values_.assign(static_cast<size_t>(n), 1.0f);
+  return m;
 }
 
 Tensor CsrMatrix::SpMM(const Tensor& x) const {
@@ -59,34 +69,52 @@ Tensor CsrMatrix::SpMM(const Tensor& x) const {
   Tensor y(rows_, f);
   const float* px = x.data();
   float* py = y.data();
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 64) if (nnz() * f > (1 << 18))
-#endif
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* yrow = py + r * f;
-    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
-         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      const float v = values_[static_cast<size_t>(p)];
-      const float* xrow = px + col_idx_[static_cast<size_t>(p)] * f;
-      for (int64_t c = 0; c < f; ++c) yrow[c] += v * xrow[c];
+  // Each output row accumulates its own entries in CSR order, so dynamic
+  // chunking (which balances skewed row degrees) cannot change the result.
+  // grain == rows_ keeps small products serial.
+  const int64_t grain = nnz() * f > (1 << 18) ? 64 : rows_;
+  ParallelForDynamic(rows_, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float* yrow = py + r * f;
+      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const float v = values_[static_cast<size_t>(p)];
+        const float* xrow = px + col_idx_[static_cast<size_t>(p)] * f;
+        for (int64_t c = 0; c < f; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   return y;
 }
 
 std::shared_ptr<const CsrMatrix> CsrMatrix::Transposed() const {
   if (transposed_cache_) return transposed_cache_;
-  std::vector<CooEntry> entries;
-  entries.reserve(static_cast<size_t>(nnz()));
+  // Counting-sort transpose, O(nnz): walking the source rows in ascending
+  // order appends each output row's entries in ascending source-row order,
+  // which is exactly the sorted CSR invariant — no COO round trip needed.
+  // (SpMM backward runs this once per adjacency, then hits the cache.)
+  auto t = std::make_shared<CsrMatrix>();
+  t->rows_ = cols_;
+  t->cols_ = rows_;
+  t->row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  for (const int64_t c : col_idx_) {
+    ++t->row_ptr_[static_cast<size_t>(c) + 1];
+  }
+  for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
+    t->row_ptr_[r + 1] += t->row_ptr_[r];
+  }
+  t->col_idx_.resize(col_idx_.size());
+  t->values_.resize(values_.size());
+  std::vector<int64_t> next(t->row_ptr_.begin(), t->row_ptr_.end() - 1);
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t p = row_ptr_[static_cast<size_t>(r)];
          p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      entries.push_back({col_idx_[static_cast<size_t>(p)], r,
-                         values_[static_cast<size_t>(p)]});
+      const int64_t c = col_idx_[static_cast<size_t>(p)];
+      const int64_t slot = next[static_cast<size_t>(c)]++;
+      t->col_idx_[static_cast<size_t>(slot)] = r;
+      t->values_[static_cast<size_t>(slot)] = values_[static_cast<size_t>(p)];
     }
   }
-  auto t = std::make_shared<CsrMatrix>(
-      FromCoo(cols_, rows_, std::move(entries)));
   transposed_cache_ = t;
   return transposed_cache_;
 }

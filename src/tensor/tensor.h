@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -17,18 +18,94 @@
 namespace graphrare {
 namespace tensor {
 
-/// Dense (rows x cols) float32 matrix with value semantics.
+namespace internal {
+// Buffer plumbing for the tensor pool (implemented in tensor.cc). Buffers
+// returned by AcquireZeroed are size-n and zero-filled; AcquireRaw buffers
+// are size-n with unspecified contents (callers overwrite every element).
+std::vector<float> PoolAcquireZeroed(size_t n);
+std::vector<float> PoolAcquireRaw(size_t n);
+std::vector<float> PoolAcquireCopy(const std::vector<float>& src);
+void PoolRelease(std::vector<float> buf);
+}  // namespace internal
+
+/// Thread-safe free-list pool behind every Tensor allocation. Forward +
+/// backward passes create and drop one Tensor per tape op; recycling the
+/// float buffers keeps the allocator out of the training/serving hot path
+/// (large buffers would otherwise round-trip through mmap on most mallocs).
+///
+/// The pool is compiled out under ASan/UBSan builds (GRAPHRARE_SANITIZE)
+/// so the sanitizers see every logical allocation and use-after-free —
+/// Enabled() reports false there and every Acquire hits the heap.
+class TensorPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;      // acquires served from the free list
+    uint64_t misses = 0;    // acquires that had to allocate
+    uint64_t returns = 0;   // buffers accepted back into the pool
+    uint64_t drops = 0;     // buffers freed instead (caps / disabled)
+    uint64_t cached_bytes = 0;  // bytes currently parked in the pool
+  };
+
+  /// False when pooling is compiled out (sanitizer builds) or switched off.
+  static bool Enabled();
+  /// Runtime kill switch (tests, leak triage). No-op in sanitizer builds.
+  static void SetEnabled(bool enabled);
+  static Stats GetStats();
+  /// Frees every cached buffer (stats other than cached_bytes persist).
+  static void Clear();
+};
+
+/// Dense (rows x cols) float32 matrix with value semantics. Buffers are
+/// recycled through TensorPool; see the class comment above.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
   Tensor() : rows_(0), cols_(0) {}
 
   /// Zero-filled (rows x cols).
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
+  Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
     GR_CHECK_GE(rows, 0);
     GR_CHECK_GE(cols, 0);
+    data_ = internal::PoolAcquireZeroed(static_cast<size_t>(rows * cols));
+  }
+
+  ~Tensor() { internal::PoolRelease(std::move(data_)); }
+
+  Tensor(const Tensor& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(internal::PoolAcquireCopy(other.data_)) {}
+
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+
+  Tensor& operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (data_.capacity() >= other.data_.size()) {
+      data_.assign(other.data_.begin(), other.data_.end());
+    } else {
+      internal::PoolRelease(std::move(data_));
+      data_ = internal::PoolAcquireCopy(other.data_);
+    }
+    return *this;
+  }
+
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    internal::PoolRelease(std::move(data_));
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+    return *this;
   }
 
   // -- Factories --------------------------------------------------------
@@ -135,6 +212,10 @@ class Tensor {
   bool AllClose(const Tensor& other, float atol = 1e-5f,
                 float rtol = 1e-4f) const;
   float MaxAbs() const;
+  /// Compensated sum of all elements (Neumaier's variant of Kahan
+  /// summation on a double accumulator), so large-matrix sums lose no
+  /// low-order bits to the accumulation itself — including under heavy
+  /// cancellation. Mean() divides the same compensated double sum.
   float Sum() const;
   float Mean() const;
   /// Returns true if any element is NaN or Inf.
@@ -145,12 +226,32 @@ class Tensor {
   std::string DebugString(int64_t max_elems = 32) const;
 
  private:
+  /// Kahan-compensated double sum (shared by Sum / Mean).
+  double SumDouble() const;
+
   int64_t rows_;
   int64_t cols_;
   std::vector<float> data_;
 };
 
 // -- Dense kernels (value level, no autograd) ----------------------------
+//
+// MatMul / MatMulTransB are cache-blocked and register-tiled, but every
+// C[i,j] is still accumulated over the full k extent in ascending order, so
+// their results are exactly the plain-triple-loop results and are invariant
+// to thread count (threads own disjoint row blocks of C).
+//
+// MatMulTransA reduces over k (the large dimension in every dense backward
+// pass), so its deterministic contract is block-structured instead: k is
+// split into fixed blocks of kTransAKBlock rows, each block's partial
+// product accumulates in ascending-k order, and the partials are summed in
+// ascending block order — the same bits for any OMP_NUM_THREADS and for
+// OpenMP-off builds. For k <= kTransAKBlock this degenerates to the plain
+// triple-loop result.
+
+/// Fixed k-reduction block for MatMulTransA (part of its numeric contract;
+/// tests reference it to build the bit-exact oracle).
+inline constexpr int64_t kTransAKBlock = 256;
 
 /// C = A * B. Shapes (m,k) x (k,n) -> (m,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
@@ -158,7 +259,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 /// C = A * B^T. Shapes (m,k) x (n,k) -> (m,n).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
-/// Column sums -> (1, n).
+/// Column sums -> (1, n). Deterministic fixed-block parallel reduction over
+/// row blocks of kColSumRowBlock.
+inline constexpr int64_t kColSumRowBlock = 1024;
 Tensor ColSum(const Tensor& a);
 /// Row sums -> (m, 1).
 Tensor RowSum(const Tensor& a);

@@ -1,0 +1,452 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Kernel equivalence suite (ctest labels: tier1, kernels). Pins the numeric
+// contracts of the blocked/register-tiled dense kernels:
+//   * MatMul / MatMulTransB produce exactly the plain-triple-loop result
+//     (every C[i,j] accumulates over the full k extent in ascending order),
+//     on ragged shapes included.
+//   * MatMulTransA / ColSum follow their fixed-block reduction specs
+//     (tensor::kTransAKBlock / tensor::kColSumRowBlock), so the oracle here
+//     is the spec written as a naive loop.
+//   * Results are invariant to the OpenMP thread count.
+//   * The fused ops (AddBiasRelu, LogSoftmaxNll behind CrossEntropy) match
+//     their unfused chains and pass numeric grad checks.
+//   * The tensor buffer pool recycles buffers without aliasing live data.
+//
+// "Exact" comparisons use float equality (== treats +0 and -0 as equal,
+// which is the one place the zero-skip in the naive path may differ).
+
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace graphrare {
+namespace tensor {
+namespace {
+
+// ------------------------------------------------------------------ oracles
+
+/// Plain ikj triple loop, no zero skip: ascending-k accumulation per element.
+Tensor RefMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a.at(i, kk);
+      for (int64_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(kk, j);
+      }
+    }
+  }
+  return c;
+}
+
+/// The MatMulTransA contract: fixed kTransAKBlock k-blocks, kij loop per
+/// block, partials added in ascending block order.
+Tensor RefTransA(const Tensor& a, const Tensor& b) {
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  for (int64_t k0 = 0; k0 < k; k0 += kTransAKBlock) {
+    const int64_t k1 = std::min(k, k0 + kTransAKBlock);
+    Tensor partial(m, n);
+    for (int64_t kk = k0; kk < k1; ++kk) {
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = a.at(kk, i);
+        for (int64_t j = 0; j < n; ++j) {
+          partial.at(i, j) += av * b.at(kk, j);
+        }
+      }
+    }
+    for (int64_t i = 0; i < m * n; ++i) c[i] += partial[i];
+  }
+  return c;
+}
+
+/// Row-dot-products: ascending-k accumulation per element.
+Tensor RefTransB(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(j, kk);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+/// The ColSum contract: fixed kColSumRowBlock row blocks in ascending order.
+Tensor RefColSum(const Tensor& a) {
+  Tensor out(1, a.cols());
+  for (int64_t r0 = 0; r0 < a.rows(); r0 += kColSumRowBlock) {
+    const int64_t r1 = std::min(a.rows(), r0 + kColSumRowBlock);
+    Tensor partial(1, a.cols());
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < a.cols(); ++c) partial[c] += a.at(r, c);
+    }
+    for (int64_t c = 0; c < a.cols(); ++c) out[c] += partial[c];
+  }
+  return out;
+}
+
+void ExpectSameBits(const Tensor& got, const Tensor& want,
+                    const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i])
+        << what << " differs at flat index " << i << " (" << got.rows() << "x"
+        << got.cols() << ")";
+  }
+}
+
+/// Random matrix with exact-zero rows/columns sprinkled in, to exercise the
+/// zero-skip paths and ragged padding.
+Tensor TestMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::Randn(rows, cols, &rng);
+  for (int64_t i = 0; i < t.numel(); i += 7) t[i] = 0.0f;
+  if (rows > 2) {
+    for (int64_t c = 0; c < cols; ++c) t.at(rows / 2, c) = 0.0f;
+  }
+  return t;
+}
+
+// ------------------------------------------------- blocked GEMM equivalence
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+// Ragged shapes: unit dims, primes, micro-tile remainders, above and below
+// the small-GEMM cutoff, and k spanning multiple TransA blocks.
+const GemmShape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {1, 1, 9},     {5, 1, 3},    {1, 300, 1},
+    {17, 31, 13}, {64, 64, 64}, {65, 67, 33},  {4, 300, 8},  {128, 96, 64},
+    {127, 253, 131}, {3, 1000, 5}, {40, 520, 24}, {256, 256, 16},
+};
+
+TEST(BlockedGemm, MatMulMatchesNaiveOnRaggedShapes) {
+  for (const auto& s : kShapes) {
+    const Tensor a = TestMatrix(s.m, s.k, /*seed=*/s.m * 131 + s.k);
+    const Tensor b = TestMatrix(s.k, s.n, /*seed=*/s.k * 17 + s.n);
+    ExpectSameBits(MatMul(a, b), RefMatMul(a, b), "MatMul");
+  }
+}
+
+TEST(BlockedGemm, TransAMatchesFixedBlockSpec) {
+  for (const auto& s : kShapes) {
+    // Reuse (m, k, n) as (k, m, n): A is (k x m), B is (k x n).
+    const Tensor a = TestMatrix(s.k, s.m, /*seed=*/s.k * 7 + s.m);
+    const Tensor b = TestMatrix(s.k, s.n, /*seed=*/s.n * 13 + s.k);
+    ExpectSameBits(MatMulTransA(a, b), RefTransA(a, b), "MatMulTransA");
+  }
+}
+
+TEST(BlockedGemm, TransBMatchesNaiveOnRaggedShapes) {
+  for (const auto& s : kShapes) {
+    const Tensor a = TestMatrix(s.m, s.k, /*seed=*/s.m * 3 + s.k);
+    const Tensor b = TestMatrix(s.n, s.k, /*seed=*/s.n * 31 + s.k);
+    ExpectSameBits(MatMulTransB(a, b), RefTransB(a, b), "MatMulTransB");
+  }
+}
+
+TEST(BlockedGemm, ZeroSizedOperands) {
+  const Tensor a(0, 5);
+  const Tensor b(5, 3);
+  EXPECT_EQ(MatMul(a, b).rows(), 0);
+  EXPECT_EQ(MatMul(a, b).cols(), 3);
+  const Tensor c(4, 0);
+  const Tensor d(0, 3);
+  const Tensor prod = MatMul(c, d);  // (4 x 0) * (0 x 3) -> zeros
+  ExpectSameBits(prod, Tensor(4, 3), "empty-k MatMul");
+}
+
+TEST(BlockedGemm, ColSumMatchesFixedBlockSpec) {
+  for (const int64_t rows : {1L, 7L, 1024L, 1025L, 3000L}) {
+    const Tensor a = TestMatrix(rows, 33, /*seed=*/rows);
+    ExpectSameBits(ColSum(a), RefColSum(a), "ColSum");
+  }
+}
+
+// ------------------------------------------------- thread-count invariance
+
+#ifdef _OPENMP
+template <typename Fn>
+void ExpectThreadCountInvariant(Fn&& fn, const char* what) {
+  const int old_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const Tensor t1 = fn();
+  omp_set_num_threads(4);
+  const Tensor t4 = fn();
+  omp_set_num_threads(old_threads);
+  ExpectSameBits(t4, t1, what);
+}
+
+TEST(ThreadInvariance, DenseKernels) {
+  const Tensor a = TestMatrix(513, 301, 1);
+  const Tensor b = TestMatrix(301, 47, 2);
+  ExpectThreadCountInvariant([&] { return MatMul(a, b); }, "MatMul");
+  const Tensor at = TestMatrix(1000, 37, 3);
+  const Tensor bt = TestMatrix(1000, 29, 4);
+  ExpectThreadCountInvariant([&] { return MatMulTransA(at, bt); },
+                             "MatMulTransA");
+  const Tensor bb = TestMatrix(53, 301, 5);
+  ExpectThreadCountInvariant([&] { return MatMulTransB(a, bb); },
+                             "MatMulTransB");
+  const Tensor big = TestMatrix(5000, 40, 6);
+  ExpectThreadCountInvariant([&] { return ColSum(big); }, "ColSum");
+  ExpectThreadCountInvariant([&] { return RowSum(big); }, "RowSum");
+  ExpectThreadCountInvariant(
+      [&] {
+        Tensor x = big;
+        x.AxpyInPlace(0.5f, big);
+        x.MulInPlace(big);
+        x.ScaleInPlace(1.25f);
+        return x;
+      },
+      "elementwise in-place");
+}
+
+TEST(ThreadInvariance, SpMM) {
+  Rng rng(9);
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < 4000; ++i) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(500)),
+                       static_cast<int64_t>(rng.UniformInt(500)), 1.0f});
+  }
+  const auto m = CsrMatrix::FromCoo(500, 500, std::move(entries));
+  const Tensor x = TestMatrix(500, 64, 10);
+  ExpectThreadCountInvariant([&] { return m.SpMM(x); }, "SpMM");
+}
+#endif  // _OPENMP
+
+// --------------------------------------------------------------- fused ops
+
+TEST(FusedOps, AddBiasReluMatchesUnfusedChain) {
+  Rng rng(11);
+  for (const int64_t rows : {1L, 5L, 300L, 1500L}) {
+    Variable a1(Tensor::Randn(rows, 19, &rng), /*requires_grad=*/true);
+    Variable b1(Tensor::Randn(1, 19, &rng), /*requires_grad=*/true);
+    Variable a2(a1.value(), /*requires_grad=*/true);
+    Variable b2(b1.value(), /*requires_grad=*/true);
+
+    Variable fused = ops::AddBiasRelu(a1, b1);
+    Variable chain = ops::Relu(ops::AddBias(a2, b2));
+    ExpectSameBits(fused.value(), chain.value(), "AddBiasRelu forward");
+
+    ops::SumAll(ops::Mul(fused, fused)).Backward();
+    ops::SumAll(ops::Mul(chain, chain)).Backward();
+    ExpectSameBits(a1.grad(), a2.grad(), "AddBiasRelu d_input");
+    ExpectSameBits(b1.grad(), b2.grad(), "AddBiasRelu d_bias");
+  }
+}
+
+TEST(FusedOps, CrossEntropyMatchesUnfusedChain) {
+  Rng rng(13);
+  const int64_t n = 400, classes = 7;
+  Variable l1(Tensor::Randn(n, classes, &rng), /*requires_grad=*/true);
+  Variable l2(l1.value(), /*requires_grad=*/true);
+  std::vector<int64_t> index;
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < n; i += 3) {
+    index.push_back(i);
+    labels.push_back(static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(classes))));
+  }
+
+  Variable fused = ops::CrossEntropy(l1, index, labels);
+  Variable chain =
+      ops::NllLoss(ops::GatherRows(ops::LogSoftmaxRows(l2), index), labels);
+  EXPECT_EQ(fused.value().scalar(), chain.value().scalar());
+
+  fused.Backward();
+  chain.Backward();
+  ExpectSameBits(l1.grad(), l2.grad(), "CrossEntropy d_logits");
+}
+
+TEST(FusedOps, CrossEntropyDuplicateIndicesAccumulate) {
+  Rng rng(17);
+  Variable logits(Tensor::Randn(5, 3, &rng), /*requires_grad=*/true);
+  const std::vector<int64_t> index = {2, 2, 4};
+  const std::vector<int64_t> labels = {0, 1, 2};
+  Variable loss = ops::CrossEntropy(logits, index, labels);
+  loss.Backward();
+  // Row 2 must carry both occurrences' gradients; rows 0/1/3 none.
+  EXPECT_NE(logits.grad().at(2, 0), 0.0f);
+  EXPECT_EQ(logits.grad().at(0, 0), 0.0f);
+  EXPECT_EQ(logits.grad().at(1, 0), 0.0f);
+  EXPECT_EQ(logits.grad().at(3, 0), 0.0f);
+  // And the loss is finite and positive.
+  EXPECT_GT(loss.value().scalar(), 0.0f);
+}
+
+TEST(FusedOps, AddBiasReluGradCheck) {
+  Rng rng(19);
+  std::vector<Variable> inputs;
+  // Shift away from 0 so the finite-difference step never crosses the ReLU
+  // kink (the subgradient there would dominate the error estimate).
+  Tensor a = Tensor::Randn(6, 5, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a[i] += a[i] >= 0.0f ? 0.5f : -0.5f;
+  }
+  inputs.emplace_back(a, /*requires_grad=*/true);
+  inputs.emplace_back(Tensor::Full(1, 5, 0.05f), /*requires_grad=*/true);
+  const auto f = [](const std::vector<Variable>& in) {
+    return ops::SumAll(ops::Mul(ops::AddBiasRelu(in[0], in[1]),
+                                ops::AddBiasRelu(in[0], in[1])));
+  };
+  for (size_t arg = 0; arg < inputs.size(); ++arg) {
+    const GradCheckResult r = CheckGradient(f, &inputs, arg);
+    EXPECT_TRUE(r.ok) << "AddBiasRelu grad check failed for input " << arg
+                      << ": max_abs_err=" << r.max_abs_err
+                      << " max_rel_err=" << r.max_rel_err;
+  }
+}
+
+TEST(FusedOps, LogSoftmaxNllGradCheck) {
+  Rng rng(23);
+  std::vector<Variable> inputs;
+  inputs.emplace_back(Tensor::Randn(8, 4, &rng), /*requires_grad=*/true);
+  const std::vector<int64_t> index = {0, 2, 2, 5, 7};
+  const std::vector<int64_t> labels = {1, 0, 3, 2, 1};
+  const auto f = [&index, &labels](const std::vector<Variable>& in) {
+    return ops::LogSoftmaxNll(in[0], index, labels);
+  };
+  const GradCheckResult r = CheckGradient(f, &inputs, 0);
+  EXPECT_TRUE(r.ok) << "LogSoftmaxNll grad check failed: max_abs_err="
+                    << r.max_abs_err << " max_rel_err=" << r.max_rel_err;
+}
+
+// ------------------------------------------------------------- tensor pool
+
+TEST(TensorPoolTest, ReusesBuffersWithoutAliasing) {
+  if (!TensorPool::Enabled()) {
+    GTEST_SKIP() << "pool compiled out (sanitizer build) or disabled";
+  }
+  TensorPool::Clear();
+  const TensorPool::Stats before = TensorPool::GetStats();
+
+  const float* recycled = nullptr;
+  {
+    Tensor t(256, 256);
+    recycled = t.data();
+    t.Fill(42.0f);
+  }  // buffer returns to the pool here
+  Tensor u(256, 256);
+  EXPECT_EQ(u.data(), recycled) << "freed buffer was not recycled";
+  const TensorPool::Stats after = TensorPool::GetStats();
+  EXPECT_GT(after.hits, before.hits);
+  // Recycled buffers must come back zeroed.
+  for (int64_t i = 0; i < u.numel(); ++i) ASSERT_EQ(u[i], 0.0f);
+
+  // Live tensors never share storage: copies get their own buffer...
+  Tensor copy = u;
+  EXPECT_NE(copy.data(), u.data());
+  copy.Fill(7.0f);
+  EXPECT_EQ(u[0], 0.0f);
+  // ...and a second fresh tensor cannot receive a live tensor's buffer.
+  Tensor w(256, 256);
+  EXPECT_NE(w.data(), u.data());
+  EXPECT_NE(w.data(), copy.data());
+}
+
+TEST(TensorPoolTest, MoveTransfersOwnership) {
+  if (!TensorPool::Enabled()) {
+    GTEST_SKIP() << "pool compiled out (sanitizer build) or disabled";
+  }
+  Tensor t(128, 128);
+  t.Fill(3.0f);
+  const float* buf = t.data();
+  Tensor moved = std::move(t);
+  EXPECT_EQ(moved.data(), buf);
+  EXPECT_EQ(moved.at(5, 5), 3.0f);
+  EXPECT_EQ(t.numel(), 0);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(TensorPoolTest, KillSwitchStopsRecycling) {
+  if (!TensorPool::Enabled()) {
+    GTEST_SKIP() << "pool compiled out (sanitizer build) or disabled";
+  }
+  TensorPool::SetEnabled(false);
+  EXPECT_FALSE(TensorPool::Enabled());
+  const TensorPool::Stats disabled = TensorPool::GetStats();
+  EXPECT_EQ(disabled.cached_bytes, 0u);  // SetEnabled(false) drains the pool
+  TensorPool::SetEnabled(true);
+  EXPECT_TRUE(TensorPool::Enabled());
+}
+
+// ------------------------------------------------------- Kahan summation
+
+TEST(KahanSum, CompensatesBeyondPlainDoubleAccumulation) {
+  // 3.4e38 swamps 1e22 even in a double accumulator (ulp(3.4e38) ~ 7.6e22),
+  // so a plain double sum returns 1e22 here and classic Kahan also drops
+  // one term (the correction is swallowed by the cancellation at -3.4e38).
+  // The Neumaier compensation carries both small terms across.
+  Tensor t = Tensor::FromData(2, 2, {3.4e38f, 1e22f, -3.4e38f, 1e22f});
+  EXPECT_FLOAT_EQ(t.Sum(), 2e22f);
+  EXPECT_FLOAT_EQ(t.Mean(), 0.5e22f);
+}
+
+TEST(KahanSum, MeanIsSumOverCount) {
+  Rng rng(29);
+  const Tensor t = Tensor::Randn(100, 7, &rng);
+  EXPECT_FLOAT_EQ(t.Mean(), t.Sum() / static_cast<float>(t.numel()));
+}
+
+// ------------------------------------------------------------ sparse fast paths
+
+TEST(SparseFastPaths, IdentityMatchesFromCoo) {
+  for (const int64_t n : {0L, 1L, 5L, 257L}) {
+    const CsrMatrix direct = CsrMatrix::Identity(n);
+    std::vector<CooEntry> entries;
+    for (int64_t i = 0; i < n; ++i) entries.push_back({i, i, 1.0f});
+    const CsrMatrix via_coo = CsrMatrix::FromCoo(n, n, std::move(entries));
+    EXPECT_EQ(direct.row_ptr(), via_coo.row_ptr()) << "n=" << n;
+    EXPECT_EQ(direct.col_idx(), via_coo.col_idx()) << "n=" << n;
+    EXPECT_EQ(direct.values(), via_coo.values()) << "n=" << n;
+  }
+}
+
+TEST(SparseFastPaths, TransposedMatchesCooRoundTrip) {
+  Rng rng(31);
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < 900; ++i) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(60)),
+                       static_cast<int64_t>(rng.UniformInt(45)),
+                       static_cast<float>(rng.Uniform(-1.0, 1.0))});
+  }
+  const CsrMatrix m = CsrMatrix::FromCoo(60, 45, std::move(entries));
+  const auto direct = m.Transposed();
+  // Oracle: swap every entry and rebuild through the sorting constructor.
+  std::vector<CooEntry> swapped;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t p = m.row_ptr()[static_cast<size_t>(r)];
+         p < m.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+      swapped.push_back({m.col_idx()[static_cast<size_t>(p)], r,
+                         m.values()[static_cast<size_t>(p)]});
+    }
+  }
+  const CsrMatrix oracle = CsrMatrix::FromCoo(45, 60, std::move(swapped));
+  EXPECT_EQ(direct->row_ptr(), oracle.row_ptr());
+  EXPECT_EQ(direct->col_idx(), oracle.col_idx());
+  EXPECT_EQ(direct->values(), oracle.values());
+  // Cache: repeated calls hand back the same matrix.
+  EXPECT_EQ(direct.get(), m.Transposed().get());
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace graphrare
