@@ -10,6 +10,9 @@
 //                 [--epochs=100] [--sample-replace]
 //                 [--rl-blocks=4] [--rl-block-fanouts=10,10]
 //                 [--rl-block-seeds=64] [--rl-steps=4]
+//                 [--rl-partition=independent|locality]
+//                 [--rl-prefetch-depth=1] [--rl-producers=1]
+//                 [--rl-entropy-refresh]
 //                 [--telemetry=out.csv] [--save-graph=out.graph]
 //                 [--save-artifact=model.grare]
 //
@@ -25,7 +28,11 @@
 // rewires B neighbor-sampled blocks (SparRL-style) instead of the full
 // graph. --rl-block-fanouts=full uses whole-graph blocks (the B=1 special
 // case reproduces classic --rare env trajectories); -1 entries mean
-// unlimited fanout.
+// unlimited fanout. --rl-partition=locality grows BFS seed batches so
+// blocks overlap less; --rl-prefetch-depth=N samples N rounds of blocks
+// ahead of training on --rl-producers threads (0 = inline, same stream
+// either way); --rl-entropy-refresh incrementally re-buckets the entropy
+// index from each round's merged edits.
 //
 // --save-artifact packages the last split's co-trained backbone plus its
 // optimized graph (serve::ModelArtifact); it requires --rare since plain
@@ -328,10 +335,26 @@ int main(int argc, char** argv) {
     rollout.seeds_per_block = flags.GetInt("rl-block-seeds", 64);
     rollout.sample_replace = flags.GetBool("sample-replace");
     rollout.steps_per_episode = flags.GetInt("rl-steps", 4);
+    const std::string partition = flags.Get("rl-partition", "independent");
+    if (partition == "locality") {
+      rollout.partition = data::PartitionMode::kLocality;
+    } else if (partition != "independent") {
+      std::fprintf(stderr, "invalid --rl-partition: %s "
+                   "(want independent or locality)\n", partition.c_str());
+      return 2;
+    }
+    rollout.prefetch_depth = flags.GetInt("rl-prefetch-depth", 1);
+    rollout.num_producers = flags.GetInt("rl-producers", 1);
+    rollout.refresh_entropy = flags.GetBool("rl-entropy-refresh");
+    // The locality partitioner seed comes from the master seed like every
+    // other subsystem (RunBlockCoTraining re-derives it per split, but
+    // setting it here keeps direct BlockRolloutRunner uses pinned too).
+    rollout.partition_seed = seeds.partition;
     const auto agg = core::RunGraphRareBlocks(dataset, splits, opts, rollout);
-    std::printf("block co-training (B=%d, fanouts=%s) test accuracy: "
-                "%.2f%% (±%.2f) over %d splits\n",
-                rl_blocks, fanout_spec.c_str(), 100.0 * agg.accuracy.mean,
+    std::printf("block co-training (B=%d, fanouts=%s, partition=%s, "
+                "prefetch=%d) test accuracy: %.2f%% (±%.2f) over %d splits\n",
+                rl_blocks, fanout_spec.c_str(), partition.c_str(),
+                rollout.prefetch_depth, 100.0 * agg.accuracy.mean,
                 100.0 * agg.accuracy.stddev, num_splits);
     std::printf("homophily: %.3f -> %.3f, entropy build %.3fs, "
                 "edges %lld -> %lld\n",

@@ -31,6 +31,12 @@ Status BlockRolloutOptions::Validate() const {
   if (steps_per_episode < 1) {
     return Status::InvalidArgument("steps_per_episode must be >= 1");
   }
+  if (prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
+  if (num_producers < 1) {
+    return Status::InvalidArgument("num_producers must be >= 1");
+  }
   for (const int64_t f : fanouts) {
     if (f < 1 && f != -1) {
       return Status::InvalidArgument(
@@ -149,56 +155,48 @@ BlockRolloutRunner::BlockRolloutRunner(
       split_(split),
       trainer_(trainer),
       index_(index),
-      options_(options),
-      shuffle_rng_(options.seed ^ 0xB10C5EEDULL) {
+      options_(options) {
   GR_CHECK(dataset != nullptr && split != nullptr && trainer != nullptr &&
            index != nullptr);
   GR_CHECK_OK(options_.Validate());
   GR_CHECK_EQ(index->num_nodes(), dataset->num_nodes());
   GR_CHECK(!split->train.empty());
-  if (!options_.fanouts.empty()) {
-    data::SamplerOptions so;
-    so.fanouts = options_.fanouts;
-    so.replace = options_.sample_replace;
-    so.seed = options_.seed;
-    sampler_ = std::make_unique<data::NeighborSampler>(&dataset->graph, so);
-  }
-}
 
-std::vector<std::vector<int64_t>> BlockRolloutRunner::NextSeedBatches() {
-  std::vector<std::vector<int64_t>> out;
-  out.reserve(static_cast<size_t>(options_.blocks_per_round));
-  while (static_cast<int>(out.size()) < options_.blocks_per_round) {
-    if (pending_batches_.empty()) {
-      pending_batches_ = data::NeighborSampler::MakeBatches(
-          split_->train, options_.seeds_per_block, /*shuffle=*/true,
-          &shuffle_rng_);
-      // Popping from the back keeps NextSeedBatches O(1) per batch while
-      // preserving the shuffled epoch order.
-      std::reverse(pending_batches_.begin(), pending_batches_.end());
-    }
-    out.push_back(std::move(pending_batches_.back()));
-    pending_batches_.pop_back();
-  }
-  return out;
+  data::BlockPipelineOptions po;
+  po.sampler.fanouts = options_.fanouts;  // empty = full-graph blocks
+  po.sampler.replace = options_.sample_replace;
+  po.sampler.seed = options_.seed;
+  po.blocks_per_round = options_.blocks_per_round;
+  po.seeds_per_block = options_.seeds_per_block;
+  po.partition = options_.partition;
+  // Independent mode always derives its shuffle stream from the rollout
+  // seed (the pipeline's partitioner applies the legacy ^0xB10C5EED), so
+  // pre-refactor trajectories replay bitwise; only locality mode takes
+  // the dedicated partition seed.
+  po.partition_seed =
+      options_.partition == data::PartitionMode::kIndependent
+          ? options_.seed
+          : (options_.partition_seed != 0 ? options_.partition_seed
+                                          : options_.seed);
+  po.prefetch_depth = options_.prefetch_depth;
+  po.num_producers = options_.num_producers;
+  pipeline_ = std::make_unique<data::BlockPipeline>(&dataset->graph,
+                                                    split->train, po);
 }
 
 BlockRolloutRunner::RoundStats BlockRolloutRunner::RunRound(
     rl::PpoAgent* agent) {
   GR_CHECK(agent != nullptr);
-  const std::vector<std::vector<int64_t>> batches = NextSeedBatches();
+  std::vector<data::ScheduledBlock> scheduled = pipeline_->NextRound();
 
   RoundStats stats;
   std::vector<std::unique_ptr<BlockTopologyEnv>> envs;
-  envs.reserve(batches.size());
-  for (const auto& batch : batches) {
-    graph::Subgraph block = options_.fanouts.empty()
-                                ? graph::FullSubgraph(dataset_->graph, batch)
-                                : sampler_->SampleBlock(batch);
-    stats.block_nodes += block.num_nodes();
-    entropy::RelativeEntropyIndex block_index = index_->Restrict(block);
+  envs.reserve(scheduled.size());
+  for (data::ScheduledBlock& sb : scheduled) {
+    stats.block_nodes += sb.block.num_nodes();
+    entropy::RelativeEntropyIndex block_index = index_->Restrict(sb.block);
     envs.push_back(std::make_unique<BlockTopologyEnv>(
-        dataset_, std::move(block), split_->train, trainer_,
+        dataset_, std::move(sb.block), split_->train, trainer_,
         std::move(block_index), options_.env));
   }
 
@@ -208,8 +206,12 @@ BlockRolloutRunner::RoundStats BlockRolloutRunner::RunRound(
   const std::vector<double> rewards =
       rl::RunAgentOnBatchedEnvs(agent, raw, options_.steps_per_episode);
 
-  // Block order = sampling order: the merge is deterministic per round.
+  // Block order = schedule order: the merge is deterministic per round.
+  // BeginRound opens a fresh conflict-accounting window so the stats below
+  // describe exactly this round's records.
+  merger_.BeginRound();
   for (const auto& e : envs) e->MergeInto(&merger_);
+  stats.conflicts = merger_.round_stats();
 
   stats.num_blocks = static_cast<int>(envs.size());
   stats.env_steps = static_cast<int64_t>(rewards.size());
@@ -267,6 +269,7 @@ BlockCoTrainResult RunBlockCoTraining(const data::Dataset& dataset,
   // paths: the MDP knobs and subsystem seeds override the rollout config.
   BlockRolloutOptions rollout = rollout_in;
   rollout.seed = seeds.sampler;
+  rollout.partition_seed = seeds.partition;
   rollout.env.k_max = options.k_max;
   rollout.env.d_max = options.d_max;
   rollout.env.reward = options.reward;
@@ -304,6 +307,10 @@ BlockCoTrainResult RunBlockCoTraining(const data::Dataset& dataset,
   double best_val = trainer.Evaluate(dataset.graph, split.val).accuracy;
   result.best_val_accuracy = best_val;
 
+  // Entropy-refresh bookkeeping: the merged graph the index currently
+  // reflects (G_0 until the first refresh).
+  graph::Graph refreshed_base = dataset.graph;
+
   for (int t = 0; t < options.iterations; ++t) {
     const BlockRolloutRunner::RoundStats stats = runner.RunRound(&agent);
     result.env_steps += stats.env_steps;
@@ -312,8 +319,30 @@ BlockCoTrainResult RunBlockCoTraining(const data::Dataset& dataset,
     // Model/graph selection on full-graph validation accuracy over the
     // merged topology (Sec. V-C protocol, merged across blocks).
     graph::Graph merged = runner.MergedGraph();
+
+    if (rollout.refresh_entropy) {
+      // Incremental index refresh: re-bucket exactly the edges this
+      // round's merge flipped, so next round's Restrict views score
+      // against the rewired graph instead of G_0.
+      std::vector<graph::Edge> added, removed;
+      graph::EdgeListDiff(refreshed_base, merged, &added, &removed);
+      index.ApplyEdits(added, removed);
+      refreshed_base = merged;
+    }
+
     const double val = trainer.Evaluate(merged, split.val).accuracy;
     result.val_acc_history.push_back(val);
+
+    BlockRoundTelemetry round_log;
+    round_log.round = t;
+    round_log.num_blocks = stats.num_blocks;
+    round_log.block_nodes = stats.block_nodes;
+    round_log.conflicts = stats.conflicts;
+    round_log.mean_reward = stats.mean_reward;
+    round_log.val_accuracy = val;
+    LogBlockRound(round_log);
+    result.round_telemetry.push_back(round_log);
+
     if (val > best_val) {
       best_val = val;
       best_weights = trainer.SaveWeights();

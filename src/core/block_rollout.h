@@ -11,11 +11,13 @@
 //    RelativeEntropyIndex::Restrict view, and Eq. 11 rewards come from
 //    nn::MiniBatchTrainer finetune/eval steps on the block's train subset.
 //
-//  * BlockRolloutRunner — samples B seed-node blocks per round from the
-//    train set via data::NeighborSampler, runs one lockstep episode over
-//    all B envs (a single policy forward per step through
-//    rl::RunAgentOnBatchedEnvs), and records each block's final edit slice
-//    into an EditMerger in block order.
+//  * BlockRolloutRunner — consumes B scheduled blocks per round from a
+//    data::BlockPipeline (partition-aware seed batching + optional
+//    prefetch: producers sample round R+1 while round R trains), runs one
+//    lockstep episode over all B envs (a single policy forward per step
+//    through rl::RunAgentOnBatchedEnvs), and records each block's final
+//    edit slice into an EditMerger in block order, with per-round
+//    conflict accounting surfaced through core::telemetry.
 //
 //  * RunBlockCoTraining — the Algorithm-1-shaped driver: entropy index,
 //    pretraining, rollout rounds, validation-based model/graph selection.
@@ -32,13 +34,16 @@
 #include <memory>
 #include <vector>
 
+#include "data/block_pipeline.h"
 #include "data/dataset.h"
+#include "data/partitioner.h"
 #include "data/sampler.h"
 #include "data/splits.h"
 #include "entropy/relative_entropy.h"
 #include "nn/trainer.h"
 #include "rl/env.h"
 #include "core/edit_merger.h"
+#include "core/telemetry.h"
 #include "core/topology_env.h"
 #include "core/trainer.h"
 
@@ -61,6 +66,26 @@ struct BlockRolloutOptions {
   /// Per-episode MDP knobs (k_max/d_max, reward, finetune epochs).
   TopologyEnvOptions env;
   uint64_t seed = 1;
+
+  /// Seed-batch scheduling mode. kIndependent reproduces the legacy
+  /// shuffled-chunk stream bitwise; kLocality grows BFS batches so blocks
+  /// overlap less and the merger sees fewer conflicts.
+  data::PartitionMode partition = data::PartitionMode::kIndependent;
+  /// Rounds of blocks the pipeline samples ahead of training. 0 = inline
+  /// (sample on the training thread, no producer threads). The sampled
+  /// stream is bitwise identical either way.
+  int prefetch_depth = 1;
+  /// Producer threads when prefetch_depth > 0.
+  int num_producers = 1;
+  /// Locality partitioner seed (ignored by kIndependent, which derives
+  /// from `seed` exactly like the legacy runner). 0 = fall back to `seed`;
+  /// RunBlockCoTraining overrides it with DeriveSeeds().partition.
+  uint64_t partition_seed = 0;
+  /// RunBlockCoTraining only: incrementally refresh the entropy index
+  /// from each round's merged edits (RelativeEntropyIndex::ApplyEdits) so
+  /// sequences track the rewired graph instead of G_0. Default off — the
+  /// paper builds the index once, and existing trajectories depend on it.
+  bool refresh_entropy = false;
 
   Status Validate() const;
 };
@@ -115,8 +140,9 @@ class BlockTopologyEnv : public rl::Env {
   double last_reward_ = 0.0;
 };
 
-/// Samples blocks and runs batched episodes; owns the cross-round
-/// EditMerger. One runner per (dataset, split, trainer, index) tuple.
+/// Consumes scheduled block rounds from a data::BlockPipeline and runs
+/// batched episodes; owns the cross-round EditMerger. One runner per
+/// (dataset, split, trainer, index) tuple.
 class BlockRolloutRunner {
  public:
   struct RoundStats {
@@ -124,6 +150,7 @@ class BlockRolloutRunner {
     int64_t env_steps = 0;
     int64_t block_nodes = 0;   ///< sum of block sizes this round
     double mean_reward = 0.0;  ///< mean over the round's env steps
+    ConflictStats conflicts;   ///< merge conflicts this round
   };
 
   /// All pointers must outlive the runner. `index` is the *global*
@@ -145,19 +172,14 @@ class BlockRolloutRunner {
   const BlockRolloutOptions& options() const { return options_; }
 
  private:
-  /// Pops the next `blocks_per_round` seed batches, reshuffling the train
-  /// set into fresh batches whenever the queue drains (epoch semantics).
-  std::vector<std::vector<int64_t>> NextSeedBatches();
-
   const data::Dataset* dataset_;
   const data::Split* split_;
   nn::MiniBatchTrainer* trainer_;
   const entropy::RelativeEntropyIndex* index_;
   BlockRolloutOptions options_;
 
-  std::unique_ptr<data::NeighborSampler> sampler_;  ///< null in full mode
-  Rng shuffle_rng_;
-  std::vector<std::vector<int64_t>> pending_batches_;  ///< popped from back
+  /// Partition-aware scheduler + (optionally prefetching) sampler.
+  std::unique_ptr<data::BlockPipeline> pipeline_;
   EditMerger merger_;
 };
 
@@ -173,6 +195,8 @@ struct BlockCoTrainResult {
   int64_t env_steps = 0;
   std::vector<double> reward_history;   ///< per-round mean reward
   std::vector<double> val_acc_history;  ///< per-round merged-graph val acc
+  /// Per-round scheduler + merge-conflict telemetry (also logged live).
+  std::vector<BlockRoundTelemetry> round_telemetry;
   graph::Graph best_graph;
 
   /// The co-trained backbone with its best (validation-selected) weights.

@@ -3,7 +3,20 @@
 namespace graphrare {
 namespace core {
 
+void EditMerger::BeginRound() {
+  round_records_.clear();
+  round_stats_ = ConflictStats();
+}
+
 void EditMerger::Record(int64_t global_v, NodeEdits edits) {
+  const int64_t count = ++round_records_[global_v];
+  if (count == 1) {
+    ++round_stats_.nodes_recorded;
+    if (edits_.count(global_v) > 0) ++round_stats_.cross_round_overwrites;
+  } else {
+    ++round_stats_.overwrites;
+    if (count == 2) ++round_stats_.conflict_nodes;
+  }
   edits_[global_v] = std::move(edits);
 }
 

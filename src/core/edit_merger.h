@@ -23,6 +23,30 @@
 namespace graphrare {
 namespace core {
 
+/// Deterministic conflict accounting for one rollout round: how often the
+/// last-writer-wins rule actually fired. All counts are pure functions of
+/// the multiset of (node, round) records, so they are identical across
+/// thread counts and block production order.
+struct ConflictStats {
+  /// Distinct nodes recorded this round.
+  int64_t nodes_recorded = 0;
+  /// Nodes recorded by more than one block this round.
+  int64_t conflict_nodes = 0;
+  /// Total re-records this round (sum over nodes of records - 1).
+  int64_t overwrites = 0;
+  /// Nodes that already carried an edit slice from an earlier round and
+  /// were re-recorded this round.
+  int64_t cross_round_overwrites = 0;
+
+  /// Fraction of this round's nodes owned by more than one block.
+  double ConflictRate() const {
+    return nodes_recorded > 0
+               ? static_cast<double>(conflict_nodes) /
+                     static_cast<double>(nodes_recorded)
+               : 0.0;
+  }
+};
+
 /// Accumulates per-node edit lists (global id space) and materialises the
 /// merged graph against a base graph.
 class EditMerger {
@@ -45,15 +69,29 @@ class EditMerger {
   int64_t num_pending_additions() const;
   int64_t num_pending_removals() const;
 
+  /// Opens a new conflict-accounting window: round_stats() then covers the
+  /// records between this call and the next. Without a BeginRound call the
+  /// window spans the merger's whole lifetime.
+  void BeginRound();
+  /// Conflict counters of the current window.
+  const ConflictStats& round_stats() const { return round_stats_; }
+
   /// Applies all recorded edits to `original` (ascending node order, so the
   /// result is independent of container iteration quirks). Removals win
   /// over additions of the same edge, as in graph::GraphEditor.
   graph::Graph Merge(const graph::Graph& original) const;
 
-  void Clear() { edits_.clear(); }
+  void Clear() {
+    edits_.clear();
+    round_records_.clear();
+    round_stats_ = ConflictStats();
+  }
 
  private:
   std::map<int64_t, NodeEdits> edits_;
+  /// Records per node within the current accounting window.
+  std::map<int64_t, int64_t> round_records_;
+  ConflictStats round_stats_;
 };
 
 }  // namespace core

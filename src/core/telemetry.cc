@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -44,6 +45,40 @@ Status WriteTelemetryCsv(const GraphRareResult& result,
     return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
   }
   return Status::OK();
+}
+
+std::string FormatBlockRound(const BlockRoundTelemetry& t) {
+  return StrFormat(
+      "round %d: blocks=%d nodes=%lld recorded=%lld conflicts=%lld "
+      "(rate %.3f, overwrites %lld, cross-round %lld) reward=%.4f "
+      "val_acc=%.4f",
+      t.round, t.num_blocks, static_cast<long long>(t.block_nodes),
+      static_cast<long long>(t.conflicts.nodes_recorded),
+      static_cast<long long>(t.conflicts.conflict_nodes),
+      t.conflicts.ConflictRate(),
+      static_cast<long long>(t.conflicts.overwrites),
+      static_cast<long long>(t.conflicts.cross_round_overwrites),
+      t.mean_reward, t.val_accuracy);
+}
+
+void LogBlockRound(const BlockRoundTelemetry& t) {
+  GR_LOG(INFO) << FormatBlockRound(t);
+}
+
+std::string BlockRoundCsvString(
+    const std::vector<BlockRoundTelemetry>& rounds) {
+  std::ostringstream out;
+  out << "round,num_blocks,block_nodes,nodes_recorded,conflict_nodes,"
+         "conflict_rate,overwrites,cross_round_overwrites,mean_reward,"
+         "val_accuracy\n";
+  for (const BlockRoundTelemetry& t : rounds) {
+    out << t.round << "," << t.num_blocks << "," << t.block_nodes << ","
+        << t.conflicts.nodes_recorded << "," << t.conflicts.conflict_nodes
+        << "," << t.conflicts.ConflictRate() << "," << t.conflicts.overwrites
+        << "," << t.conflicts.cross_round_overwrites << "," << t.mean_reward
+        << "," << t.val_accuracy << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace core

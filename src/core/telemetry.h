@@ -1,14 +1,18 @@
 // Copyright 2026 The GraphRARE Authors.
 //
-// CSV export of GraphRareResult telemetry (the Fig. 6 curves), for plotting
-// with external tools.
+// Training telemetry: CSV export of GraphRareResult (the Fig. 6 curves)
+// and per-round block-rollout telemetry — block sizes, merge conflicts,
+// rewards — logged at the end of every PPO round so large runs surface
+// scheduler health without a debugger.
 
 #ifndef GRAPHRARE_CORE_TELEMETRY_H_
 #define GRAPHRARE_CORE_TELEMETRY_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/edit_merger.h"
 #include "core/trainer.h"
 
 namespace graphrare {
@@ -21,6 +25,30 @@ Status WriteTelemetryCsv(const GraphRareResult& result,
 
 /// Formats the same content into a string (unit tests, stdout piping).
 std::string TelemetryCsvString(const GraphRareResult& result);
+
+/// One block-rollout round's worth of scheduler + merge telemetry.
+struct BlockRoundTelemetry {
+  int round = 0;
+  int num_blocks = 0;
+  /// Sum of block node counts this round.
+  int64_t block_nodes = 0;
+  /// EditMerger conflict accounting for the round (see ConflictStats).
+  ConflictStats conflicts;
+  double mean_reward = 0.0;
+  /// Full-graph validation accuracy on the merged topology.
+  double val_accuracy = 0.0;
+};
+
+/// One-line human-readable summary of a round.
+std::string FormatBlockRound(const BlockRoundTelemetry& t);
+
+/// Logs FormatBlockRound at INFO severity.
+void LogBlockRound(const BlockRoundTelemetry& t);
+
+/// CSV with one row per round:
+/// round,num_blocks,block_nodes,nodes_recorded,conflict_nodes,
+/// conflict_rate,overwrites,cross_round_overwrites,mean_reward,val_accuracy
+std::string BlockRoundCsvString(const std::vector<BlockRoundTelemetry>& rounds);
 
 }  // namespace core
 }  // namespace graphrare

@@ -78,6 +78,7 @@ DerivedSeeds DeriveSeeds(uint64_t master) {
   s.env = master * 53 + 29;
   s.shuffle = master * 7 + 3;
   s.splits = master + 100;
+  s.partition = master * 211 + 41;
   return s;
 }
 

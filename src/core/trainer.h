@@ -91,6 +91,7 @@ struct DerivedSeeds {
   uint64_t shuffle;
   uint64_t splits;
   uint64_t run;  ///< trainer-internal rng (random policy mode, ablations)
+  uint64_t partition;  ///< locality partitioner (data::Partitioner)
 };
 
 DerivedSeeds DeriveSeeds(uint64_t master);

@@ -1,0 +1,150 @@
+#include "data/block_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace graphrare {
+namespace data {
+
+Status BlockPipelineOptions::Validate() const {
+  if (blocks_per_round < 1) {
+    return Status::InvalidArgument("blocks_per_round must be >= 1");
+  }
+  if (seeds_per_block < 1) {
+    return Status::InvalidArgument("seeds_per_block must be >= 1");
+  }
+  if (prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
+  if (num_producers < 1) {
+    return Status::InvalidArgument("num_producers must be >= 1");
+  }
+  if (!sampler.fanouts.empty()) {
+    return sampler.Validate();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+PartitionerOptions MakePartitionerOptions(const BlockPipelineOptions& o) {
+  PartitionerOptions po;
+  po.mode = o.partition;
+  po.batch_size = o.seeds_per_block;
+  po.seed = o.partition_seed;
+  return po;
+}
+
+}  // namespace
+
+BlockPipeline::BlockPipeline(const graph::Graph* graph,
+                             std::vector<int64_t> train_nodes,
+                             const BlockPipelineOptions& options)
+    : graph_(graph),
+      options_(options),
+      partitioner_(graph, std::move(train_nodes),
+                   MakePartitionerOptions(options)) {
+  GR_CHECK(graph != nullptr);
+  GR_CHECK_OK(options_.Validate());
+  if (!options_.sampler.fanouts.empty()) {
+    inline_sampler_ = std::make_unique<NeighborSampler>(graph_,
+                                                        options_.sampler);
+  }
+  if (options_.prefetch_depth > 0) {
+    producers_.reserve(static_cast<size_t>(options_.num_producers));
+    for (int i = 0; i < options_.num_producers; ++i) {
+      producers_.emplace_back([this] { ProducerLoop(); });
+    }
+  }
+}
+
+BlockPipeline::~BlockPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  produce_cv_.notify_all();
+  for (std::thread& t : producers_) t.join();
+}
+
+bool BlockPipeline::ClaimRound(std::unique_lock<std::mutex>* lock,
+                               RoundPlan* plan) {
+  produce_cv_.wait(*lock, [this] {
+    return stop_ || next_claim_ - next_consume_ < options_.prefetch_depth;
+  });
+  if (stop_) return false;
+  plan->round = next_claim_++;
+  // The schedule is fixed here, under the lock: seed batches come off the
+  // (serial) partitioner stream and block indices off the global counter,
+  // so the plan is identical no matter which producer wins the claim.
+  plan->batches = partitioner_.NextBatches(options_.blocks_per_round);
+  plan->base_block_index = blocks_issued_;
+  blocks_issued_ += static_cast<uint64_t>(options_.blocks_per_round);
+  return true;
+}
+
+std::vector<ScheduledBlock> BlockPipeline::ProduceRound(
+    const RoundPlan& plan, NeighborSampler* sampler) const {
+  std::vector<ScheduledBlock> out;
+  out.reserve(plan.batches.size());
+  for (size_t j = 0; j < plan.batches.size(); ++j) {
+    ScheduledBlock sb;
+    sb.seeds = plan.batches[j];
+    sb.block_index = plan.base_block_index + static_cast<uint64_t>(j);
+    sb.block = options_.sampler.fanouts.empty()
+                   ? graph::FullSubgraph(*graph_, sb.seeds)
+                   : sampler->SampleBlockAt(sb.seeds, sb.block_index);
+    out.push_back(std::move(sb));
+  }
+  return out;
+}
+
+void BlockPipeline::ProducerLoop() {
+  // Each producer owns its sampler: the versioned-mark scratch inside
+  // NeighborSampler is per-instance state, and SampleBlockAt makes the
+  // output a pure function of (graph, options, seeds, block_index).
+  std::unique_ptr<NeighborSampler> sampler;
+  if (!options_.sampler.fanouts.empty()) {
+    sampler = std::make_unique<NeighborSampler>(graph_, options_.sampler);
+  }
+  while (true) {
+    RoundPlan plan;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!ClaimRound(&lock, &plan)) return;
+    }
+    std::vector<ScheduledBlock> blocks = ProduceRound(plan, sampler.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ready_.emplace(plan.round, std::move(blocks));
+    }
+    consume_cv_.notify_all();
+  }
+}
+
+std::vector<ScheduledBlock> BlockPipeline::NextRound() {
+  if (options_.prefetch_depth == 0) {
+    RoundPlan plan;
+    plan.round = next_claim_++;
+    plan.batches = partitioner_.NextBatches(options_.blocks_per_round);
+    plan.base_block_index = blocks_issued_;
+    blocks_issued_ += static_cast<uint64_t>(options_.blocks_per_round);
+    ++next_consume_;
+    return ProduceRound(plan, inline_sampler_.get());
+  }
+  std::vector<ScheduledBlock> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    consume_cv_.wait(lock,
+                     [this] { return ready_.count(next_consume_) > 0; });
+    auto it = ready_.find(next_consume_);
+    out = std::move(it->second);
+    ready_.erase(it);
+    ++next_consume_;
+  }
+  produce_cv_.notify_all();
+  return out;
+}
+
+}  // namespace data
+}  // namespace graphrare

@@ -1,0 +1,136 @@
+#include "data/partitioner.h"
+
+#include <algorithm>
+
+#include "data/sampler.h"
+
+namespace graphrare {
+namespace data {
+
+Status PartitionerOptions::Validate() const {
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+Partitioner::Partitioner(const graph::Graph* graph,
+                         std::vector<int64_t> train_nodes,
+                         const PartitionerOptions& options)
+    : graph_(graph),
+      train_(std::move(train_nodes)),
+      options_(options),
+      // The legacy runner seeds its shuffle RNG as seed ^ 0xB10C5EED; both
+      // modes keep that derivation so independent mode replays the exact
+      // historical batch stream.
+      rng_(options.seed ^ 0xB10C5EEDULL) {
+  GR_CHECK(graph != nullptr);
+  GR_CHECK_OK(options_.Validate());
+  GR_CHECK(!train_.empty()) << "Partitioner: empty train set";
+  const int64_t n = graph_->num_nodes();
+  if (options_.mode == PartitionMode::kLocality) {
+    assigned_.assign(static_cast<size_t>(n), 0);
+    visited_.assign(static_cast<size_t>(n), 0);
+    is_train_.assign(static_cast<size_t>(n), 0);
+  }
+  for (const int64_t v : train_) {
+    GR_CHECK(v >= 0 && v < n) << "Partitioner: train node " << v
+                              << " out of range";
+    if (options_.mode == PartitionMode::kLocality) {
+      GR_CHECK(!is_train_[static_cast<size_t>(v)])
+          << "Partitioner: duplicate train node " << v;
+      is_train_[static_cast<size_t>(v)] = 1;
+    }
+  }
+}
+
+int64_t Partitioner::batches_per_epoch() const {
+  return (static_cast<int64_t>(train_.size()) + options_.batch_size - 1) /
+         options_.batch_size;
+}
+
+std::vector<int64_t> Partitioner::NextBatch() {
+  if (pending_.empty()) Refill();
+  std::vector<int64_t> out = std::move(pending_.back());
+  pending_.pop_back();
+  return out;
+}
+
+std::vector<std::vector<int64_t>> Partitioner::NextBatches(int n) {
+  std::vector<std::vector<int64_t>> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(NextBatch());
+  return out;
+}
+
+void Partitioner::Refill() {
+  pending_ = options_.mode == PartitionMode::kIndependent
+                 ? NeighborSampler::MakeBatches(train_, options_.batch_size,
+                                                /*shuffle=*/true, &rng_)
+                 : BuildLocalityEpoch();
+  std::reverse(pending_.begin(), pending_.end());
+}
+
+std::vector<std::vector<int64_t>> Partitioner::BuildLocalityEpoch() {
+  // Shuffled train order is the deterministic tie-break: it decides which
+  // unassigned node roots the next BFS region, and nothing else in the
+  // construction consults the RNG, so the epoch is a pure function of
+  // (graph, train set, rng state).
+  std::vector<int64_t> order = train_;
+  rng_.Shuffle(&order);
+
+  const uint64_t assigned = ++assigned_version_;
+  const auto is_assigned = [&](int64_t v) {
+    return assigned_[static_cast<size_t>(v)] == assigned;
+  };
+
+  // Cap on dequeued nodes per BFS growth attempt: with a sparse train set
+  // a single region could otherwise sweep the whole component hunting for
+  // its last few seeds. Hitting the cap just moves on to the next root in
+  // shuffled order, continuing the same (partially filled) batch.
+  const int64_t visit_cap = options_.batch_size * 8 + 256;
+
+  std::vector<std::vector<int64_t>> batches;
+  batches.reserve(static_cast<size_t>(batches_per_epoch()));
+  std::vector<int64_t> current;
+  current.reserve(static_cast<size_t>(options_.batch_size));
+  std::vector<int64_t> queue;
+
+  for (const int64_t root : order) {
+    if (is_assigned(root)) continue;
+    const uint64_t visited = ++visited_version_;
+    queue.clear();
+    queue.push_back(root);
+    visited_[static_cast<size_t>(root)] = visited;
+    size_t head = 0;
+    int64_t dequeued = 0;
+    while (head < queue.size() && dequeued < visit_cap) {
+      const int64_t u = queue[head++];
+      ++dequeued;
+      if (is_train_[static_cast<size_t>(u)] && !is_assigned(u)) {
+        assigned_[static_cast<size_t>(u)] = assigned;
+        current.push_back(u);
+        if (static_cast<int64_t>(current.size()) == options_.batch_size) {
+          batches.push_back(std::move(current));
+          current.clear();
+          current.reserve(static_cast<size_t>(options_.batch_size));
+          break;
+        }
+      }
+      // CSR neighbors are sorted ascending, so expansion order (and hence
+      // the batch's seed order) is deterministic.
+      for (const int64_t* p = graph_->NeighborsBegin(u);
+           p != graph_->NeighborsEnd(u); ++p) {
+        if (visited_[static_cast<size_t>(*p)] != visited) {
+          visited_[static_cast<size_t>(*p)] = visited;
+          queue.push_back(*p);
+        }
+      }
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace data
+}  // namespace graphrare

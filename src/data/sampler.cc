@@ -94,9 +94,14 @@ std::vector<int64_t> NeighborSampler::SampleNeighbors(const graph::Graph& g,
 
 graph::Subgraph NeighborSampler::SampleBlock(
     const std::vector<int64_t>& seeds) {
+  return SampleBlockAt(seeds, block_counter_++);
+}
+
+graph::Subgraph NeighborSampler::SampleBlockAt(
+    const std::vector<int64_t>& seeds, uint64_t block_index) {
   GR_CHECK(!seeds.empty()) << "SampleBlock: empty seed set";
   const int64_t n = graph_->num_nodes();
-  const uint64_t block = block_counter_++;
+  const uint64_t block = block_index;
 
   // Versioned membership marks double as the node-set accumulator (the
   // array is allocated once and bumping the version clears it in O(1));

@@ -57,6 +57,14 @@ class NeighborSampler {
   /// in range, and duplicate-free) and returns the induced block.
   graph::Subgraph SampleBlock(const std::vector<int64_t>& seeds);
 
+  /// Samples the block at an explicit stream position instead of the
+  /// internal counter. SampleBlock(seeds) == SampleBlockAt(seeds, i) when i
+  /// blocks have been drawn before, which lets a scheduler hand block
+  /// indices to producer threads in any order and still reproduce the
+  /// inline sampling stream bit for bit.
+  graph::Subgraph SampleBlockAt(const std::vector<int64_t>& seeds,
+                                uint64_t block_index);
+
   /// Frontier trace of the last SampleBlock: layers()[0] is the seed set,
   /// layers()[l+1] the nodes first reached at layer l (sorted ascending).
   /// Exposed for tests and diagnostics.

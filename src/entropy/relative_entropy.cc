@@ -8,6 +8,38 @@
 namespace graphrare {
 namespace entropy {
 
+namespace {
+
+// Canonical sequence orders (shared by Build and ApplyEdits so incremental
+// refresh lands candidates exactly where a full rebuild would put them).
+bool RemoteOrder(const ScoredNode& a, const ScoredNode& b) {
+  return a.entropy != b.entropy ? a.entropy > b.entropy : a.node < b.node;
+}
+
+bool NeighborOrder(const ScoredNode& a, const ScoredNode& b) {
+  return a.entropy != b.entropy ? a.entropy < b.entropy : a.node < b.node;
+}
+
+// Removes `node` from `seq` (sorted by entropy, so lookup is a linear scan
+// over a short list) and reports its carried score.
+bool ExtractNode(std::vector<ScoredNode>* seq, int64_t node, double* score) {
+  for (auto it = seq->begin(); it != seq->end(); ++it) {
+    if (it->node == node) {
+      *score = it->entropy;
+      seq->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void InsertSorted(std::vector<ScoredNode>* seq, ScoredNode s,
+                  bool (*order)(const ScoredNode&, const ScoredNode&)) {
+  seq->insert(std::lower_bound(seq->begin(), seq->end(), s, order), s);
+}
+
+}  // namespace
+
 Status EntropyOptions::Validate() const {
   if (lambda < 0.0) {
     return Status::InvalidArgument("lambda must be non-negative");
@@ -135,16 +167,8 @@ Result<RelativeEntropyIndex> RelativeEntropyIndex::Build(
         seq.neighbors.push_back({u, h});
       }
     }
-    std::sort(seq.remote.begin(), seq.remote.end(),
-              [](const ScoredNode& a, const ScoredNode& b) {
-                return a.entropy != b.entropy ? a.entropy > b.entropy
-                                              : a.node < b.node;
-              });
-    std::sort(seq.neighbors.begin(), seq.neighbors.end(),
-              [](const ScoredNode& a, const ScoredNode& b) {
-                return a.entropy != b.entropy ? a.entropy < b.entropy
-                                              : a.node < b.node;
-              });
+    std::sort(seq.remote.begin(), seq.remote.end(), RemoteOrder);
+    std::sort(seq.neighbors.begin(), seq.neighbors.end(), NeighborOrder);
   }
   return index;
 }
@@ -180,6 +204,27 @@ RelativeEntropyIndex RelativeEntropyIndex::Restrict(
     }
   }
   return out;
+}
+
+void RelativeEntropyIndex::ApplyEdits(const std::vector<graph::Edge>& added,
+                                      const std::vector<graph::Edge>& removed) {
+  const auto move_pair = [this](int64_t a, int64_t b, bool to_neighbors) {
+    if (a < 0 || a >= num_nodes() || b < 0 || b >= num_nodes()) return;
+    NodeSequences& seq = sequences_[static_cast<size_t>(a)];
+    std::vector<ScoredNode>& from = to_neighbors ? seq.remote : seq.neighbors;
+    std::vector<ScoredNode>& to = to_neighbors ? seq.neighbors : seq.remote;
+    double score = 0.0;
+    if (!ExtractNode(&from, b, &score)) return;  // pair never scored: no-op
+    InsertSorted(&to, {b, score}, to_neighbors ? NeighborOrder : RemoteOrder);
+  };
+  for (const graph::Edge& e : added) {
+    move_pair(e.first, e.second, /*to_neighbors=*/true);
+    move_pair(e.second, e.first, /*to_neighbors=*/true);
+  }
+  for (const graph::Edge& e : removed) {
+    move_pair(e.first, e.second, /*to_neighbors=*/false);
+    move_pair(e.second, e.first, /*to_neighbors=*/false);
+  }
 }
 
 void RelativeEntropyIndex::ShuffleSequences(Rng* rng) {

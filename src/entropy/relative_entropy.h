@@ -91,6 +91,18 @@ class RelativeEntropyIndex {
   /// topology env the B=1/full-fanout special case of the block env.
   RelativeEntropyIndex Restrict(const graph::Subgraph& block) const;
 
+  /// Incremental refresh after a merge round: moves each endpoint of an
+  /// added edge from the other endpoint's remote sequence into its
+  /// neighbour sequence (and the reverse for removed edges), carrying the
+  /// pairwise entropy score and reinserting at the canonical sorted
+  /// position (remote: entropy desc, neighbours: entropy asc; ties break
+  /// ascending node id). Pairs that were never scored at Build time are
+  /// no-ops — the candidate universe is fixed, only the adjacency
+  /// bucketing tracks the rewired graph. O(sum of touched sequence
+  /// lengths); deterministic, independent of edit order within each list.
+  void ApplyEdits(const std::vector<graph::Edge>& added,
+                  const std::vector<graph::Edge>& removed);
+
  private:
   std::vector<NodeSequences> sequences_;
   double lambda_ = 1.0;

@@ -268,5 +268,27 @@ int64_t Graph::CountConnectedComponents() const {
   return components;
 }
 
+void EdgeListDiff(const Graph& before, const Graph& after,
+                  std::vector<Edge>* added, std::vector<Edge>* removed) {
+  added->clear();
+  removed->clear();
+  const std::vector<Edge>& a = before.edges();
+  const std::vector<Edge>& b = after.edges();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      removed->push_back(a[i++]);
+    } else {
+      added->push_back(b[j++]);
+    }
+  }
+  for (; i < a.size(); ++i) removed->push_back(a[i]);
+  for (; j < b.size(); ++j) added->push_back(b[j]);
+}
+
 }  // namespace graph
 }  // namespace graphrare

@@ -103,6 +103,13 @@ class Graph {
   mutable std::shared_ptr<const tensor::CsrMatrix> row_normalized_two_hop_;
 };
 
+/// Sorted-merge diff of two graphs' canonical edge lists: `added` receives
+/// the edges present in `after` but not `before`, `removed` the reverse.
+/// Both outputs are cleared first and come back in canonical (u < v) sorted
+/// order. O(E) single pass; the graphs must have the same node count.
+void EdgeListDiff(const Graph& before, const Graph& after,
+                  std::vector<Edge>* added, std::vector<Edge>* removed);
+
 }  // namespace graph
 }  // namespace graphrare
 
