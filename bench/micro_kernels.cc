@@ -7,11 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/graphrare.h"
+#include "graph/reorder.h"
 
 namespace graphrare {
 namespace {
@@ -93,6 +97,100 @@ void BM_SpMM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m.nnz() * 64);
 }
 BENCHMARK(BM_SpMM)->Arg(1000)->Arg(5000)->Arg(20000);
+
+// Hub-heavy graph with scrambled node ids: endpoint u is drawn from a
+// power-law-ish distribution (u ~ n * U^2.5, so a few nodes collect most
+// edges), then all ids are shuffled so the hubs are scattered across the
+// id space — the worst case for gather locality and the case CSR
+// reordering is designed to repair.
+graph::Graph SkewedBenchGraph(int64_t n, int64_t num_edges) {
+  Rng rng(7);
+  std::vector<int64_t> scramble(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) scramble[static_cast<size_t>(i)] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    std::swap(scramble[static_cast<size_t>(i)],
+              scramble[rng.UniformInt(static_cast<uint64_t>(i) + 1)]);
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  while (static_cast<int64_t>(edges.size()) < num_edges) {
+    const int64_t u = static_cast<int64_t>(
+        static_cast<double>(n) * std::pow(rng.Uniform(), 2.5));
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(n));
+    if (u == v || u >= n) continue;
+    edges.emplace_back(scramble[static_cast<size_t>(u)],
+                       scramble[static_cast<size_t>(v)]);
+  }
+  return graph::Graph::FromEdgeListOrDie(n, edges);
+}
+
+// SpMM over the skewed graph's adjacency, natural ids vs reordered
+// (range(1): 0 = natural, 1 = degree sort, 2 = RCM). The reordered
+// variants permute the matrix AND the dense operand's rows, so all three
+// compute the same product up to row relabelling.
+void BM_SpMMSkewed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t kind = state.range(1);
+  graph::Graph g = SkewedBenchGraph(n, n * 8);
+  Rng rng(2);
+  tensor::Tensor x = tensor::Tensor::Randn(n, 64, &rng);
+  tensor::CsrMatrix m = *g.Adjacency();
+  if (kind > 0) {
+    const std::vector<int64_t> perm = graph::ReorderPermutation(
+        g, kind == 1 ? graph::ReorderKind::kDegreeSort
+                     : graph::ReorderKind::kRcm);
+    m = graph::ReorderCsr(m, perm);
+    tensor::Tensor xp(n, 64);
+    for (int64_t u = 0; u < n; ++u) {
+      std::copy(x.row(u), x.row(u) + 64,
+                xp.row(perm[static_cast<size_t>(u)]));
+    }
+    x = std::move(xp);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.SpMM(x));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * 64);
+}
+BENCHMARK(BM_SpMMSkewed)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2});
+
+// The fused GAT attention-edge kernel (score -> segment softmax ->
+// weighted scatter in one pass over the edges). range(1) = 1 also runs
+// the backward pass through the fused node.
+void BM_GatAttention(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool backward = state.range(1) != 0;
+  graph::Graph g = SkewedBenchGraph(n, n * 8);
+  std::vector<int64_t> src, dst;
+  g.DirectedEdgesWithSelfLoops(&src, &dst);
+  Rng rng(3);
+  const int64_t f = 64;
+  tensor::Tensor h_val = tensor::Tensor::Randn(n, f, &rng);
+  tensor::Tensor a_src = tensor::Tensor::Randn(f, 1, &rng);
+  tensor::Tensor a_dst = tensor::Tensor::Randn(f, 1, &rng);
+  for (auto _ : state) {
+    tensor::Variable h(h_val, /*requires_grad=*/backward);
+    tensor::Variable sl = tensor::ops::MatMul(h, tensor::Variable(a_src));
+    tensor::Variable sr = tensor::ops::MatMul(h, tensor::Variable(a_dst));
+    tensor::Variable out = tensor::ops::GatSegmentAttention(
+        h, sl, sr, src, dst, n, /*negative_slope=*/0.2f,
+        /*dropout_p=*/0.0f, /*training=*/backward, /*rng=*/nullptr);
+    if (backward) {
+      tensor::Variable loss = tensor::ops::SumAll(out);
+      loss.Backward();
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(src.size()) * f);
+}
+BENCHMARK(BM_GatAttention)->Args({20000, 0})->Args({20000, 1});
 
 data::Dataset BenchDataset(int64_t nodes) {
   data::GeneratorOptions o;

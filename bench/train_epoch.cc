@@ -124,6 +124,7 @@ int Main() {
   } kFullConfigs[] = {
       {"gcn/full", nn::BackboneKind::kGcn},
       {"sage/full", nn::BackboneKind::kSage},
+      {"gat/full", nn::BackboneKind::kGat},
       {"mlp/full", nn::BackboneKind::kMlp},
   };
   for (const auto& cfg : kFullConfigs) {

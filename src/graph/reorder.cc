@@ -1,0 +1,121 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace graphrare {
+namespace graph {
+
+namespace {
+
+/// Nodes sorted by ascending (degree, id) — the deterministic seed order
+/// shared by both strategies.
+std::vector<int64_t> NodesByAscendingDegree(const Graph& g) {
+  std::vector<int64_t> nodes(static_cast<size_t>(g.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), int64_t{0});
+  std::sort(nodes.begin(), nodes.end(), [&g](int64_t a, int64_t b) {
+    const int64_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<int64_t> DegreeSortPermutation(const Graph& g) {
+  std::vector<int64_t> nodes(static_cast<size_t>(g.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), int64_t{0});
+  std::sort(nodes.begin(), nodes.end(), [&g](int64_t a, int64_t b) {
+    const int64_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  std::vector<int64_t> perm(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    perm[static_cast<size_t>(nodes[i])] = static_cast<int64_t>(i);
+  }
+  return perm;
+}
+
+std::vector<int64_t> RcmPermutation(const Graph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<int64_t> order;  // Cuthill-McKee visit order
+  order.reserve(static_cast<size_t>(n));
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  std::vector<int64_t> nbrs;
+  size_t head = 0;
+  for (const int64_t s : NodesByAscendingDegree(g)) {
+    if (visited[static_cast<size_t>(s)]) continue;
+    visited[static_cast<size_t>(s)] = 1;
+    order.push_back(s);
+    while (head < order.size()) {
+      const int64_t u = order[head++];
+      nbrs.clear();
+      for (const int64_t* p = g.NeighborsBegin(u); p != g.NeighborsEnd(u);
+           ++p) {
+        if (!visited[static_cast<size_t>(*p)]) nbrs.push_back(*p);
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&g](int64_t a, int64_t b) {
+        const int64_t da = g.Degree(a), db = g.Degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (const int64_t v : nbrs) {
+        visited[static_cast<size_t>(v)] = 1;
+        order.push_back(v);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (size_t i = 0; i < order.size(); ++i) {
+    perm[static_cast<size_t>(order[i])] = static_cast<int64_t>(i);
+  }
+  return perm;
+}
+
+std::vector<int64_t> ReorderPermutation(const Graph& g, ReorderKind kind) {
+  switch (kind) {
+    case ReorderKind::kDegreeSort:
+      return DegreeSortPermutation(g);
+    case ReorderKind::kRcm:
+      return RcmPermutation(g);
+  }
+  GR_CHECK(false) << "unknown ReorderKind";
+  return {};
+}
+
+std::vector<int64_t> InversePermutation(const std::vector<int64_t>& perm) {
+  const int64_t n = static_cast<int64_t>(perm.size());
+  std::vector<int64_t> inv(perm.size(), int64_t{-1});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t p = perm[static_cast<size_t>(i)];
+    GR_CHECK(p >= 0 && p < n) << "permutation value " << p << " out of range";
+    GR_CHECK_EQ(inv[static_cast<size_t>(p)], -1)
+        << "duplicate permutation value " << p;
+    inv[static_cast<size_t>(p)] = i;
+  }
+  return inv;
+}
+
+Graph PermuteGraph(const Graph& g, const std::vector<int64_t>& perm) {
+  GR_CHECK_EQ(static_cast<int64_t>(perm.size()), g.num_nodes());
+  // Validate via InversePermutation (range + duplicate checks).
+  (void)InversePermutation(perm);
+  std::vector<Edge> edges;
+  edges.reserve(g.edges().size());
+  for (const auto& [u, v] : g.edges()) {
+    edges.emplace_back(perm[static_cast<size_t>(u)],
+                       perm[static_cast<size_t>(v)]);
+  }
+  return Graph::FromEdgeListOrDie(g.num_nodes(), edges);
+}
+
+tensor::CsrMatrix ReorderCsr(const tensor::CsrMatrix& m,
+                             const std::vector<int64_t>& perm) {
+  GR_CHECK_EQ(m.rows(), m.cols()) << "ReorderCsr needs a square matrix";
+  return m.Permuted(perm, /*permute_rows=*/true, /*permute_cols=*/true);
+}
+
+}  // namespace graph
+}  // namespace graphrare

@@ -82,15 +82,13 @@ Variable GATConv::Forward(const graph::Graph& g, const LayerInput& x,
     Variable h = ApplyLinear(*head.proj, x);          // (n, out)
     Variable sl = ops::MatMul(h, head.attn_src);      // (n, 1)
     Variable sr = ops::MatMul(h, head.attn_dst);      // (n, 1)
-    Variable e = ops::LeakyRelu(
-        ops::Add(ops::GatherRows(sl, src), ops::GatherRows(sr, dst)),
-        negative_slope_);                             // (E, 1)
-    Variable alpha = ops::SegmentSoftmax(e, dst, n);  // (E, 1)
-    if (attention_dropout_ > 0.0f) {
-      alpha = ops::Dropout(alpha, attention_dropout_, training, rng);
-    }
-    Variable messages = ops::RowScale(ops::GatherRows(h, src), alpha);
-    head_outputs.push_back(ops::ScatterAddRows(messages, dst, n));
+    // Fused edge kernel: leaky-relu scores, segment softmax over incoming
+    // edges, attention dropout, and the alpha-weighted neighbour sum in one
+    // op (bitwise the former gather/softmax/scale/scatter chain, without
+    // its (E, f) intermediates).
+    head_outputs.push_back(ops::GatSegmentAttention(
+        h, sl, sr, src, dst, n, negative_slope_, attention_dropout_,
+        training, rng));
   }
   return head_outputs.size() == 1 ? head_outputs[0]
                                   : ops::ConcatCols(head_outputs);

@@ -708,6 +708,156 @@ Variable SegmentSoftmax(const Variable& scores, std::vector<int64_t> seg,
       });
 }
 
+Variable GatSegmentAttention(const Variable& h, const Variable& sl,
+                             const Variable& sr, std::vector<int64_t> src,
+                             std::vector<int64_t> dst, int64_t num_nodes,
+                             float negative_slope, float dropout_p,
+                             bool training, Rng* rng) {
+  const Tensor& hv = h.value();
+  GR_CHECK_EQ(sl.value().cols(), 1);
+  GR_CHECK_EQ(sr.value().cols(), 1);
+  GR_CHECK_EQ(sl.value().rows(), hv.rows());
+  GR_CHECK_EQ(sr.value().rows(), hv.rows());
+  GR_CHECK_EQ(src.size(), dst.size());
+  GR_CHECK(dropout_p >= 0.0f && dropout_p < 1.0f)
+      << "dropout p must be in [0,1), got " << dropout_p;
+  const int64_t e = static_cast<int64_t>(src.size());
+  const int64_t f = hv.cols();
+  for (int64_t i = 0; i < e; ++i) {
+    GR_CHECK(src[static_cast<size_t>(i)] >= 0 &&
+             src[static_cast<size_t>(i)] < hv.rows())
+        << "edge src out of range";
+    GR_CHECK(dst[static_cast<size_t>(i)] >= 0 &&
+             dst[static_cast<size_t>(i)] < num_nodes)
+        << "edge dst out of range";
+  }
+  const float* psl = sl.value().data();
+  const float* psr = sr.value().data();
+
+  // Attention scores + segment softmax, numerically step-for-step the
+  // LeakyRelu(sl[src] + sr[dst]) -> SegmentSoftmax chain: float segment
+  // max, float exp(score - max), double segment sum in ascending edge
+  // order, float(w / sum) weights.
+  std::vector<float> escore(static_cast<size_t>(e));
+  std::vector<float> seg_max(static_cast<size_t>(num_nodes),
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t i = 0; i < e; ++i) {
+    const float pre = psl[src[static_cast<size_t>(i)]] +
+                      psr[dst[static_cast<size_t>(i)]];
+    const float sc = pre > 0.0f ? pre : negative_slope * pre;
+    escore[static_cast<size_t>(i)] = sc;
+    const size_t s = static_cast<size_t>(dst[static_cast<size_t>(i)]);
+    seg_max[s] = std::max(seg_max[s], sc);
+  }
+  std::vector<double> seg_sum(static_cast<size_t>(num_nodes), 0.0);
+  Tensor alpha(e, 1);
+  float* pa = alpha.data();
+  for (int64_t i = 0; i < e; ++i) {
+    const size_t s = static_cast<size_t>(dst[static_cast<size_t>(i)]);
+    pa[i] = std::exp(escore[static_cast<size_t>(i)] - seg_max[s]);
+    seg_sum[s] += pa[i];
+  }
+  for (int64_t i = 0; i < e; ++i) {
+    const size_t s = static_cast<size_t>(dst[static_cast<size_t>(i)]);
+    pa[i] = static_cast<float>(pa[i] / seg_sum[s]);
+  }
+
+  // Attention dropout: one Bernoulli per edge in edge order — the same
+  // draws ops::Dropout would make on the (e, 1) alpha tensor, so the RNG
+  // stream downstream of this op is unchanged by the fusion.
+  const bool use_dropout = training && dropout_p > 0.0f;
+  Tensor mask;
+  if (use_dropout) {
+    GR_CHECK(rng != nullptr);
+    const float keep = 1.0f - dropout_p;
+    mask = Tensor(e, 1);
+    float* pm = mask.data();
+    for (int64_t i = 0; i < e; ++i) {
+      pm[i] = rng->Bernoulli(dropout_p) ? 0.0f : 1.0f / keep;
+    }
+  }
+  const float* pm = use_dropout ? mask.data() : nullptr;
+
+  // Messages scattered straight into the output, ascending edge order
+  // exactly like ScatterAddRows (the dst segments are interleaved, so the
+  // scatter stays serial — same cost the chain paid).
+  Tensor out(num_nodes, f);
+  float* po = out.data();
+  const float* ph = hv.data();
+  for (int64_t i = 0; i < e; ++i) {
+    const float a =
+        use_dropout ? pa[i] * pm[i] : pa[i];
+    const float* hr = ph + src[static_cast<size_t>(i)] * f;
+    float* orow = po + dst[static_cast<size_t>(i)] * f;
+    for (int64_t c = 0; c < f; ++c) orow[c] += a * hr[c];
+  }
+
+  return MakeOpNode(
+      std::move(out), {h, sl, sr},
+      [src = std::move(src), dst = std::move(dst), alpha = std::move(alpha),
+       mask = std::move(mask), use_dropout, negative_slope,
+       num_nodes](AutogradNode* n) {
+        const Tensor& hv = n->parents[0]->value;
+        const float* psl = n->parents[1]->value.data();
+        const float* psr = n->parents[2]->value.data();
+        const int64_t e = alpha.rows();
+        const int64_t f = hv.cols();
+        const float* pa = alpha.data();
+        const float* pm = use_dropout ? mask.data() : nullptr;
+        const bool need_h = n->parents[0]->requires_grad;
+        const bool need_sl = n->parents[1]->requires_grad;
+        const bool need_sr = n->parents[2]->requires_grad;
+
+        // ScatterAdd + RowScale + Gather backward in one edge pass:
+        // d_alpha_i is the float ascending-c dot the RowScale backward
+        // computes, and h's gradient receives each edge's contribution in
+        // the same ascending edge order the chain's gather-scatter used.
+        std::vector<float> d_alpha(static_cast<size_t>(e));
+        Tensor* hg = nullptr;
+        if (need_h) hg = n->parents[0]->EnsureGrad();
+        const float* pg = n->grad.data();
+        for (int64_t i = 0; i < e; ++i) {
+          const float* g = pg + dst[static_cast<size_t>(i)] * f;
+          const float* hr =
+              hv.data() + src[static_cast<size_t>(i)] * f;
+          float dot = 0.0f;
+          for (int64_t c = 0; c < f; ++c) dot += g[c] * hr[c];
+          const float ad = use_dropout ? pa[i] * pm[i] : pa[i];
+          // Dropout backward folds into the same pass: d(alpha) = dot * m.
+          d_alpha[static_cast<size_t>(i)] =
+              use_dropout ? dot * pm[i] : dot;
+          if (need_h) {
+            float* hgr = hg->data() + src[static_cast<size_t>(i)] * f;
+            for (int64_t c = 0; c < f; ++c) hgr[c] += g[c] * ad;
+          }
+        }
+        if (!need_sl && !need_sr) return;
+
+        // SegmentSoftmax backward: double segment dots in ascending edge
+        // order, then d_e -> leaky-relu mask -> scatter into sl / sr. The
+        // pre-activation is recomputed from the saved parents (a float add
+        // — bit-identical to the forward's), so only alpha and the mask
+        // were kept on the tape.
+        std::vector<double> seg_dot(static_cast<size_t>(num_nodes), 0.0);
+        for (int64_t i = 0; i < e; ++i) {
+          seg_dot[static_cast<size_t>(dst[static_cast<size_t>(i)])] +=
+              static_cast<double>(pa[i]) * d_alpha[static_cast<size_t>(i)];
+        }
+        float* slg = need_sl ? n->parents[1]->EnsureGrad()->data() : nullptr;
+        float* srg = need_sr ? n->parents[2]->EnsureGrad()->data() : nullptr;
+        for (int64_t i = 0; i < e; ++i) {
+          const size_t si = static_cast<size_t>(src[static_cast<size_t>(i)]);
+          const size_t di = static_cast<size_t>(dst[static_cast<size_t>(i)]);
+          const float de = static_cast<float>(
+              pa[i] * (d_alpha[static_cast<size_t>(i)] - seg_dot[di]));
+          const float pre = psl[si] + psr[di];
+          const float dpre = de * (pre > 0.0f ? 1.0f : negative_slope);
+          if (need_sl) slg[si] += dpre;
+          if (need_sr) srg[di] += dpre;
+        }
+      });
+}
+
 Variable Clamp(const Variable& a, float lo, float hi) {
   GR_CHECK_LE(lo, hi);
   return UnaryElementwise(

@@ -122,6 +122,29 @@ Variable ScaleByScalar(const Variable& x, const Variable& s);
 Variable SegmentSoftmax(const Variable& scores, std::vector<int64_t> seg,
                         int64_t num_segments);
 
+/// Fused GAT attention edge kernel. Computes, for per-node features h
+/// (n, f) and per-node attention scores sl / sr (n, 1):
+///
+///   e_i     = leaky_relu(sl[src[i]] + sr[dst[i]], negative_slope)
+///   alpha_i = segment_softmax(e, dst)_i          (optionally dropped out)
+///   out[v]  = sum_{i : dst[i] == v} alpha_i * h[src[i], :]
+///
+/// in one pass over the edges, replacing the GatherRows -> Add -> LeakyRelu
+/// -> SegmentSoftmax -> (Dropout) -> GatherRows -> RowScale ->
+/// ScatterAddRows chain. Forward and backward are bitwise identical to that
+/// chain: per-edge arithmetic uses the same expressions, all segment
+/// reductions and scatter accumulations run in the same ascending-edge
+/// order, and dropout (applied when `training` and dropout_p > 0) draws
+/// exactly one Bernoulli(dropout_p) per edge in edge order, so the RNG
+/// stream matches ops::Dropout on the (e, 1) alpha tensor. Only the (e, 1)
+/// attention weights and dropout mask are saved for backward — none of the
+/// chain's (e, f) edge-message intermediates are materialised or taped.
+Variable GatSegmentAttention(const Variable& h, const Variable& sl,
+                             const Variable& sr, std::vector<int64_t> src,
+                             std::vector<int64_t> dst, int64_t num_nodes,
+                             float negative_slope, float dropout_p,
+                             bool training, Rng* rng);
+
 // -- Clipping (PPO) -------------------------------------------------------
 
 /// Elementwise clamp; gradient passes only where lo < a < hi.

@@ -1,11 +1,144 @@
 #include "tensor/sparse.h"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "common/parallel.h"
 
 namespace graphrare {
 namespace tensor {
+
+namespace {
+
+// Same generic vector idiom as the GEMM micro-kernel in tensor.cc: lanes
+// are independent output features, loads/stores go through memcpy so
+// vector values never cross a function boundary (no -Wpsabi on non-AVX
+// builds), and -ffp-contract=off keeps mul+add unfused, matching the
+// scalar loop bit for bit.
+typedef float V8f __attribute__((vector_size(32)));
+
+inline V8f LoadV8(const float* p) {
+  V8f v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreV8(float* p, const V8f& v) { std::memcpy(p, &v, sizeof(v)); }
+
+// The panel kernels below compute one CSR row's contribution to a
+// contiguous block of output features entirely in registers: a single walk
+// over the row's nonzeros, where every vals[p] / cols[p] load is shared by
+// all 8-wide panels in the block, and y sees exactly one store per element
+// instead of a load+store per nonzero. Per-(row, feature) sums still run
+// in ascending-p order from zero, so the result is bitwise identical to
+// the scalar reference loop regardless of which kernel handles which
+// feature block — and regardless of thread count, since rows own their
+// outputs exclusively.
+
+// The gathers of x rows are the latency bottleneck at scale (the feature
+// matrix outgrows L2), so the wide kernel prefetches the x row several
+// nonzeros ahead. Prefetching is invisible to the arithmetic: determinism
+// is untouched.
+constexpr int64_t kPrefetchDist = 16;
+
+inline void PrefetchRow(const float* xr) {
+  __builtin_prefetch(xr, 0, 3);
+  __builtin_prefetch(xr + 16, 0, 3);
+  __builtin_prefetch(xr + 32, 0, 3);
+  __builtin_prefetch(xr + 48, 0, 3);
+}
+
+/// y[0..64) = row · x[., 0..64): eight panels, full register residency.
+/// `pmax` bounds the prefetch lookahead (the caller's chunk end, so the
+/// prefetch stream runs seamlessly across row boundaries).
+inline void SpmmRow64(const int64_t* cols, const float* vals, int64_t begin,
+                      int64_t end, int64_t pmax, const float* px, int64_t f,
+                      float* dst) {
+  V8f a0 = {0, 0, 0, 0, 0, 0, 0, 0};
+  V8f a1 = a0, a2 = a0, a3 = a0, a4 = a0, a5 = a0, a6 = a0, a7 = a0;
+  for (int64_t p = begin; p < end; ++p) {
+    if (p + kPrefetchDist < pmax) PrefetchRow(px + cols[p + kPrefetchDist] * f);
+    const float v = vals[p];
+    const float* xr = px + cols[p] * f;
+    a0 += v * LoadV8(xr);
+    a1 += v * LoadV8(xr + 8);
+    a2 += v * LoadV8(xr + 16);
+    a3 += v * LoadV8(xr + 24);
+    a4 += v * LoadV8(xr + 32);
+    a5 += v * LoadV8(xr + 40);
+    a6 += v * LoadV8(xr + 48);
+    a7 += v * LoadV8(xr + 56);
+  }
+  StoreV8(dst, a0);
+  StoreV8(dst + 8, a1);
+  StoreV8(dst + 16, a2);
+  StoreV8(dst + 24, a3);
+  StoreV8(dst + 32, a4);
+  StoreV8(dst + 40, a5);
+  StoreV8(dst + 48, a6);
+  StoreV8(dst + 56, a7);
+}
+
+/// y[0..32) = row · x[., 0..32): four panels.
+inline void SpmmRow32(const int64_t* cols, const float* vals, int64_t begin,
+                      int64_t end, const float* px, int64_t f, float* dst) {
+  V8f a0 = {0, 0, 0, 0, 0, 0, 0, 0};
+  V8f a1 = a0, a2 = a0, a3 = a0;
+  for (int64_t p = begin; p < end; ++p) {
+    const float v = vals[p];
+    const float* xr = px + cols[p] * f;
+    a0 += v * LoadV8(xr);
+    a1 += v * LoadV8(xr + 8);
+    a2 += v * LoadV8(xr + 16);
+    a3 += v * LoadV8(xr + 24);
+  }
+  StoreV8(dst, a0);
+  StoreV8(dst + 8, a1);
+  StoreV8(dst + 16, a2);
+  StoreV8(dst + 24, a3);
+}
+
+/// y[0..8) = row · x[., 0..8): one panel.
+inline void SpmmRow8(const int64_t* cols, const float* vals, int64_t begin,
+                     int64_t end, const float* px, int64_t f, float* dst) {
+  V8f a0 = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (int64_t p = begin; p < end; ++p) {
+    a0 += vals[p] * LoadV8(px + cols[p] * f);
+  }
+  StoreV8(dst, a0);
+}
+
+/// Writes yrow[0..f) = nonzeros [begin, end) of one row · x, widest slabs
+/// first: for the common f == 64 the whole row runs in eight register
+/// panels and vals/cols are walked exactly once. Every output element is
+/// stored (the output tensor may start uninitialised).
+inline void SpmmRowInto(const int64_t* cols, const float* vals, int64_t begin,
+                        int64_t end, int64_t pmax, const float* px, int64_t f,
+                        float* yrow) {
+  int64_t j = 0;
+  for (; j + 64 <= f; j += 64) {
+    SpmmRow64(cols, vals, begin, end, pmax, px + j, f, yrow + j);
+  }
+  if (j + 32 <= f) {
+    SpmmRow32(cols, vals, begin, end, px + j, f, yrow + j);
+    j += 32;
+  }
+  for (; j + 8 <= f; j += 8) {
+    SpmmRow8(cols, vals, begin, end, px + j, f, yrow + j);
+  }
+  // Scalar tail for f % 8 features (also the whole row when f < 8); each
+  // element accumulates its own ascending-p sum in a register.
+  for (int64_t c = j; c < f; ++c) {
+    float acc = 0.0f;
+    for (int64_t p = begin; p < end; ++p) {
+      acc += vals[p] * px[cols[p] * f + c];
+    }
+    yrow[c] = acc;
+  }
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
                              std::vector<CooEntry> entries) {
@@ -66,63 +199,83 @@ CsrMatrix CsrMatrix::Identity(int64_t n) {
 Tensor CsrMatrix::SpMM(const Tensor& x) const {
   GR_CHECK_EQ(cols_, x.rows());
   const int64_t f = x.cols();
-  Tensor y(rows_, f);
+  // Every element of y is written exactly once below (SpmmRowInto stores
+  // the full row; empty rows are memset), so the multi-megabyte zero fill
+  // of a default-constructed Tensor would be pure overwrite traffic.
+  Tensor y = Tensor::Uninitialized(rows_, f);
   const float* px = x.data();
   float* py = y.data();
+  const int64_t* cols = col_idx_.data();
+  const float* vals = values_.data();
   // Each output row accumulates its own entries in CSR order, so dynamic
   // chunking (which balances skewed row degrees) cannot change the result.
   // grain == rows_ keeps small products serial.
   const int64_t grain = nnz() * f > (1 << 18) ? 64 : rows_;
   ParallelForDynamic(rows_, grain, [&](int64_t r0, int64_t r1) {
+    const int64_t pmax = row_ptr_[static_cast<size_t>(r1)];
     for (int64_t r = r0; r < r1; ++r) {
-      float* yrow = py + r * f;
-      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
-           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-        const float v = values_[static_cast<size_t>(p)];
-        const float* xrow = px + col_idx_[static_cast<size_t>(p)] * f;
-        for (int64_t c = 0; c < f; ++c) yrow[c] += v * xrow[c];
+      const int64_t begin = row_ptr_[static_cast<size_t>(r)];
+      const int64_t end = row_ptr_[static_cast<size_t>(r) + 1];
+      if (begin == end) {
+        std::memset(py + r * f, 0, static_cast<size_t>(f) * sizeof(float));
+        continue;
       }
+      SpmmRowInto(cols, vals, begin, end, pmax, px, f, py + r * f);
     }
   });
   return y;
 }
 
 std::shared_ptr<const CsrMatrix> CsrMatrix::Transposed() const {
-  if (transposed_cache_) return transposed_cache_;
-  // Counting-sort transpose, O(nnz): walking the source rows in ascending
-  // order appends each output row's entries in ascending source-row order,
-  // which is exactly the sorted CSR invariant — no COO round trip needed.
-  // (SpMM backward runs this once per adjacency, then hits the cache.)
-  auto t = std::make_shared<CsrMatrix>();
-  t->rows_ = cols_;
-  t->cols_ = rows_;
-  t->row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
-  for (const int64_t c : col_idx_) {
-    ++t->row_ptr_[static_cast<size_t>(c) + 1];
-  }
-  for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
-    t->row_ptr_[r + 1] += t->row_ptr_[r];
-  }
-  t->col_idx_.resize(col_idx_.size());
-  t->values_.resize(values_.size());
-  std::vector<int64_t> next(t->row_ptr_.begin(), t->row_ptr_.end() - 1);
-  for (int64_t r = 0; r < rows_; ++r) {
-    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
-         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      const int64_t c = col_idx_[static_cast<size_t>(p)];
-      const int64_t slot = next[static_cast<size_t>(c)]++;
-      t->col_idx_[static_cast<size_t>(slot)] = r;
-      t->values_[static_cast<size_t>(slot)] = values_[static_cast<size_t>(p)];
+  // call_once: two threads hitting the SpMM backward on a shared adjacency
+  // at the same time must not race on the cache pointer (one build wins,
+  // both see the same shared matrix afterwards).
+  std::call_once(transpose_slot_->once, [this] {
+    // Counting-sort transpose, O(nnz): walking the source rows in ascending
+    // order appends each output row's entries in ascending source-row
+    // order, which is exactly the sorted CSR invariant — no COO round trip
+    // needed. (SpMM backward runs this once per adjacency, then hits the
+    // cache.)
+    auto t = std::make_shared<CsrMatrix>();
+    t->rows_ = cols_;
+    t->cols_ = rows_;
+    t->row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+    for (const int64_t c : col_idx_) {
+      ++t->row_ptr_[static_cast<size_t>(c) + 1];
     }
-  }
-  transposed_cache_ = t;
-  return transposed_cache_;
+    for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
+      t->row_ptr_[r + 1] += t->row_ptr_[r];
+    }
+    t->col_idx_.resize(col_idx_.size());
+    t->values_.resize(values_.size());
+    std::vector<int64_t> next(t->row_ptr_.begin(), t->row_ptr_.end() - 1);
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const int64_t c = col_idx_[static_cast<size_t>(p)];
+        const int64_t slot = next[static_cast<size_t>(c)]++;
+        t->col_idx_[static_cast<size_t>(slot)] = r;
+        t->values_[static_cast<size_t>(slot)] =
+            values_[static_cast<size_t>(p)];
+      }
+    }
+    transpose_slot_->value = std::move(t);
+  });
+  return transpose_slot_->value;
 }
 
 CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other) const {
   GR_CHECK_EQ(cols_, other.rows_);
-  // Gustavson's algorithm with a dense accumulator per row.
-  std::vector<CooEntry> entries;
+  // Gustavson's algorithm with a dense accumulator per row. Sorting the
+  // touched-column list gives each output row in CSR order directly, so
+  // the rows are emitted as they finish — no COO materialisation and no
+  // global re-sort through FromCoo. Accumulation order per (r, c) is the
+  // q-traversal order, identical to the old COO path, so values match it
+  // bit for bit.
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = other.cols_;
+  m.row_ptr_.assign(static_cast<size_t>(rows_) + 1, 0);
   std::vector<float> acc(static_cast<size_t>(other.cols_), 0.0f);
   std::vector<int64_t> touched;
   for (int64_t r = 0; r < rows_; ++r) {
@@ -135,19 +288,25 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other) const {
            q < other.row_ptr_[static_cast<size_t>(k) + 1]; ++q) {
         const int64_t c = other.col_idx_[static_cast<size_t>(q)];
         if (acc[static_cast<size_t>(c)] == 0.0f) touched.push_back(c);
-        acc[static_cast<size_t>(c)] += va * other.values_[static_cast<size_t>(q)];
+        acc[static_cast<size_t>(c)] +=
+            va * other.values_[static_cast<size_t>(q)];
       }
     }
+    std::sort(touched.begin(), touched.end());
     for (int64_t c : touched) {
       // An exact zero sum is indistinguishable from "untouched"; such
-      // cancellations simply drop the entry, which is fine for adjacency use.
+      // cancellations simply drop the entry, which is fine for adjacency
+      // use.
       if (acc[static_cast<size_t>(c)] != 0.0f) {
-        entries.push_back({r, c, acc[static_cast<size_t>(c)]});
+        m.col_idx_.push_back(c);
+        m.values_.push_back(acc[static_cast<size_t>(c)]);
         acc[static_cast<size_t>(c)] = 0.0f;
       }
     }
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.col_idx_.size());
   }
-  return FromCoo(rows_, other.cols_, std::move(entries));
+  return m;
 }
 
 CsrMatrix CsrMatrix::SelectRows(const std::vector<int64_t>& rows) const {
@@ -182,9 +341,60 @@ CsrMatrix CsrMatrix::SelectRows(const std::vector<int64_t>& rows) const {
 }
 
 CsrMatrix CsrMatrix::WithUniformValues(float v) const {
-  CsrMatrix m = *this;
+  CsrMatrix m = *this;  // copy ctor starts with a fresh transpose cache
   std::fill(m.values_.begin(), m.values_.end(), v);
-  m.transposed_cache_.reset();
+  return m;
+}
+
+CsrMatrix CsrMatrix::Permuted(const std::vector<int64_t>& perm,
+                              bool permute_rows, bool permute_cols) const {
+  GR_CHECK(permute_rows || permute_cols);
+  std::vector<int64_t> inv;
+  if (permute_rows) {
+    GR_CHECK_EQ(static_cast<int64_t>(perm.size()), rows_);
+    inv.assign(static_cast<size_t>(rows_), -1);
+    for (int64_t i = 0; i < rows_; ++i) {
+      const int64_t q = perm[static_cast<size_t>(i)];
+      GR_CHECK(q >= 0 && q < rows_) << "Permuted: index " << q
+                                    << " out of range [0," << rows_ << ")";
+      GR_CHECK_EQ(inv[static_cast<size_t>(q)], -1)
+          << "Permuted: perm is not a permutation (duplicate " << q << ")";
+      inv[static_cast<size_t>(q)] = i;
+    }
+  }
+  if (permute_cols) {
+    GR_CHECK_EQ(static_cast<int64_t>(perm.size()), cols_);
+  }
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.reserve(static_cast<size_t>(rows_) + 1);
+  m.row_ptr_.push_back(0);
+  m.col_idx_.reserve(col_idx_.size());
+  m.values_.reserve(values_.size());
+  std::vector<std::pair<int64_t, float>> entries;
+  for (int64_t nr = 0; nr < rows_; ++nr) {
+    const int64_t r = permute_rows ? inv[static_cast<size_t>(nr)] : nr;
+    entries.clear();
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      int64_t c = col_idx_[static_cast<size_t>(p)];
+      if (permute_cols) {
+        c = perm[static_cast<size_t>(c)];
+        GR_CHECK(c >= 0 && c < cols_) << "Permuted: index " << c
+                                      << " out of range [0," << cols_ << ")";
+      }
+      entries.emplace_back(c, values_[static_cast<size_t>(p)]);
+    }
+    // Columns are unique within a row, so the sort (and hence the output)
+    // is unambiguous; values travel untouched.
+    std::sort(entries.begin(), entries.end());
+    for (const auto& e : entries) {
+      m.col_idx_.push_back(e.first);
+      m.values_.push_back(e.second);
+    }
+    m.row_ptr_.push_back(static_cast<int64_t>(m.col_idx_.size()));
+  }
   return m;
 }
 

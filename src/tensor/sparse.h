@@ -3,12 +3,19 @@
 // Compressed sparse row matrix for graph adjacency operators. Used by the
 // GNN layers (SpMM is the message-passing hot loop) and by GCN
 // normalisation. Values are float so normalised adjacencies fit directly.
+//
+// Thread-safety: a CsrMatrix is immutable after construction, and the lazy
+// Transposed() cache is initialised under std::call_once, so any number of
+// threads may share one matrix for reads (SpMM forward + backward on a
+// shared adjacency included). The mutating helpers (assignment, moves) are
+// not synchronised — don't reassign a matrix other threads are reading.
 
 #ifndef GRAPHRARE_TENSOR_SPARSE_H_
 #define GRAPHRARE_TENSOR_SPARSE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -29,6 +36,42 @@ class CsrMatrix {
  public:
   CsrMatrix() : rows_(0), cols_(0) {}
 
+  // Copies and moves transfer the matrix but not the transpose cache: a
+  // fired std::once_flag cannot be re-armed, so the destination gets a
+  // fresh slot and simply recomputes the transpose on first use.
+  CsrMatrix(const CsrMatrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_ptr_(other.row_ptr_),
+        col_idx_(other.col_idx_),
+        values_(other.values_) {}
+  CsrMatrix& operator=(const CsrMatrix& other) {
+    if (this != &other) *this = CsrMatrix(other);
+    return *this;
+  }
+  CsrMatrix(CsrMatrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_ptr_(std::move(other.row_ptr_)),
+        col_idx_(std::move(other.col_idx_)),
+        values_(std::move(other.values_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      row_ptr_ = std::move(other.row_ptr_);
+      col_idx_ = std::move(other.col_idx_);
+      values_ = std::move(other.values_);
+      transpose_slot_ = std::make_unique<TransposeSlot>();
+      other.rows_ = 0;
+      other.cols_ = 0;
+    }
+    return *this;
+  }
+
   /// Builds from COO entries (any order; duplicates summed).
   static CsrMatrix FromCoo(int64_t rows, int64_t cols,
                            std::vector<CooEntry> entries);
@@ -44,14 +87,19 @@ class CsrMatrix {
   const std::vector<int64_t>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }
 
-  /// Y = A * X (dense). X is (cols x f) -> Y (rows x f).
+  /// Y = A * X (dense). X is (cols x f) -> Y (rows x f). The feature
+  /// dimension runs through 8-wide vector panels with the accumulators held
+  /// in registers across each row's nonzeros; per-(row, feature)
+  /// accumulation stays in ascending CSR order, so the result is bitwise
+  /// identical to the scalar loop under any thread count.
   Tensor SpMM(const Tensor& x) const;
 
   /// y = A * x for a column vector (cols x 1).
   Tensor SpMV(const Tensor& x) const { return SpMM(x); }
 
   /// Transposed copy. Cached: repeated calls return the same shared matrix
-  /// (backward passes need A^T on every step).
+  /// (backward passes need A^T on every step). Thread-safe: concurrent
+  /// first calls race only into a std::call_once.
   std::shared_ptr<const CsrMatrix> Transposed() const;
 
   /// Sparse-sparse product (this * other). Used for 2-hop adjacency in
@@ -66,6 +114,14 @@ class CsrMatrix {
   /// order. Used to build per-batch feature matrices for sampled subgraphs.
   CsrMatrix SelectRows(const std::vector<int64_t>& rows) const;
 
+  /// Symmetric permutation copy: result(perm[r], perm[c]) = this(r, c).
+  /// `perm` maps old index -> new index and must be a permutation of
+  /// [0, n) for both dimensions it is applied to (rows when
+  /// `permute_rows`, columns when `permute_cols`). Values are copied
+  /// bit-exactly; only their positions move. Used by graph::ReorderCsr.
+  CsrMatrix Permuted(const std::vector<int64_t>& perm, bool permute_rows,
+                     bool permute_cols) const;
+
   /// Element lookup (binary search within the row). Zero when absent.
   float At(int64_t r, int64_t c) const;
 
@@ -79,7 +135,17 @@ class CsrMatrix {
   std::vector<int64_t> col_idx_;  // size nnz, sorted within each row
   std::vector<float> values_;    // size nnz
 
-  mutable std::shared_ptr<const CsrMatrix> transposed_cache_;
+  // Lazy transpose cache. The std::call_once makes the initial build safe
+  // when two threads hit the SpMM backward on a shared adjacency at once;
+  // after the call_once returns, the shared_ptr is read-only. The slot
+  // lives behind a unique_ptr because a fired once_flag cannot be re-armed:
+  // assignment installs a fresh slot instead (see operator=).
+  struct TransposeSlot {
+    std::once_flag once;
+    std::shared_ptr<const CsrMatrix> value;
+  };
+  mutable std::unique_ptr<TransposeSlot> transpose_slot_ =
+      std::make_unique<TransposeSlot>();
 };
 
 }  // namespace tensor

@@ -8,6 +8,10 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "common/parallel.h"
 
 // The tensor pool is compiled out under sanitizer builds so ASan sees every
@@ -52,6 +56,35 @@ int CeilLog2(size_t n) {
   return (size_t{1} << b) == n ? b : b + 1;
 }
 
+// Multi-megabyte buffers (feature matrices, SpMM outputs) are gather
+// targets for the sparse kernels, where 4 KiB pages cost a DTLB miss on
+// nearly every CSR gather. Ask the kernel to back fresh large buffers
+// with transparent huge pages (effective under THP "madvise" or "always"
+// policies; silently a no-op elsewhere). Must run before first touch, so
+// FreshBuffer reserves, advises, then resizes.
+void MaybeAdviseHugePages(void* data, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr size_t kHugeAdviseBytes = size_t{2} << 20;
+  constexpr uintptr_t kPageMask = 4095;
+  if (bytes < kHugeAdviseBytes) return;
+  const uintptr_t lo =
+      (reinterpret_cast<uintptr_t>(data) + kPageMask) & ~kPageMask;
+  const uintptr_t hi = (reinterpret_cast<uintptr_t>(data) + bytes) & ~kPageMask;
+  if (hi > lo) madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+std::vector<float> FreshBuffer(size_t n) {
+  std::vector<float> buf;
+  buf.reserve(n);
+  MaybeAdviseHugePages(buf.data(), buf.capacity() * sizeof(float));
+  buf.resize(n);  // value-initialises (zero) after the advice
+  return buf;
+}
+
 class PoolImpl {
  public:
   // Leaked singleton: Tensors with static storage duration may be destroyed
@@ -82,7 +115,7 @@ class PoolImpl {
       }
       ++stats_.misses;
     }
-    return std::vector<float>(n);  // value-initialised (zeroed)
+    return FreshBuffer(n);  // value-initialised (zeroed)
   }
 
   void Release(std::vector<float> buf) {
@@ -497,6 +530,27 @@ void PackA(const float* a, int64_t mb, int64_t k, int64_t lda, float* packed) {
   }
 }
 
+/// Packs a k-major block At (kb x m, row stride lda — A^T as stored by
+/// MatMulTransA's inputs) into kMr-high micro-panels with exactly the
+/// layout PackA produces for the equivalent (m x kb) row-major block:
+/// packed[t * kb * kMr + kk * kMr + r] = At[kk][t * kMr + r]. Reads each
+/// k-row contiguously, so no strided full-block transpose is needed first.
+void PackATransposed(const float* at, int64_t kb, int64_t m, int64_t lda,
+                     float* packed) {
+  const int64_t tiles = CeilDiv(m, kMr);
+  for (int64_t t = 0; t < tiles; ++t) {
+    const int64_t r0 = t * kMr;
+    const int64_t rh = std::min(kMr, m - r0);
+    float* dst = packed + t * kb * kMr;
+    for (int64_t kk = 0; kk < kb; ++kk) {
+      const float* src = at + kk * lda + r0;
+      for (int64_t r = 0; r < rh; ++r) dst[r] = src[r];
+      for (int64_t r = rh; r < kMr; ++r) dst[r] = 0.0f;
+      dst += kMr;
+    }
+  }
+}
+
 /// One kMr x kNr C tile over the full k extent, accumulators in registers.
 /// Writes the rh x jw live corner of the tile (padded lanes are discarded).
 /// Loads/stores go through memcpy so vector values never cross a function
@@ -598,17 +652,28 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
           NaiveTransAInto(ablk, bblk, partial.data(), kb, m, n);
           return partial;
         }
-        // Transpose the A block once, then reuse the register-tiled core.
-        // Per-element ascending-k accumulation matches the kij loop above.
-        Scratch at(static_cast<size_t>(m * kb));
-        for (int64_t kk = 0; kk < kb; ++kk) {
-          const float* arow = ablk + kk * m;
-          for (int64_t i = 0; i < m; ++i) at.data()[i * kb + kk] = arow[i];
-        }
-        Scratch bpacked(static_cast<size_t>(CeilDiv(n, kNr) * kNr * kb));
+        // Pack the k-major A block straight into micro-panels (one
+        // contiguous read per k-row) instead of re-striding it through a
+        // full transpose and a second PackA pass. The packed bytes — and
+        // hence the register-tiled core's per-element ascending-k sums —
+        // are identical either way.
+        const int64_t atiles = CeilDiv(m, kMr);
+        const int64_t bpanels = CeilDiv(n, kNr);
+        Scratch apacked(static_cast<size_t>(atiles * kMr * kb));
+        PackATransposed(ablk, kb, m, m, apacked.data());
+        Scratch bpacked(static_cast<size_t>(bpanels * kNr * kb));
         PackB(bblk, kb, n, n, bpacked.data());
-        BlockedGemm(at.data(), kb, bpacked.data(), m, kb, n, partial.data(),
-                    /*parallel=*/false);
+        for (int64_t t = 0; t < atiles; ++t) {
+          const int64_t r0 = t * kMr;
+          const int64_t rh = std::min(kMr, m - r0);
+          const float* ap = apacked.data() + t * kb * kMr;
+          for (int64_t p = 0; p < bpanels; ++p) {
+            const int64_t j0 = p * kNr;
+            const int64_t jw = std::min(kNr, n - j0);
+            MicroKernel(ap, bpacked.data() + p * kb * kNr, kb, rh, jw,
+                        partial.data() + r0 * n + j0, n);
+          }
+        }
         return partial;
       },
       [](Tensor acc, Tensor partial) {

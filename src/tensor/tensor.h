@@ -113,6 +113,19 @@ class Tensor {
   static Tensor Zeros(int64_t rows, int64_t cols) {
     return Tensor(rows, cols);
   }
+  /// (rows x cols) with unspecified contents — strictly for kernels that
+  /// provably store every element before the tensor escapes (the sparse /
+  /// blocked kernels, whose outputs are multi-megabyte and would otherwise
+  /// pay a redundant zero fill per call).
+  static Tensor Uninitialized(int64_t rows, int64_t cols) {
+    GR_CHECK_GE(rows, 0);
+    GR_CHECK_GE(cols, 0);
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = internal::PoolAcquireRaw(static_cast<size_t>(rows * cols));
+    return t;
+  }
   static Tensor Ones(int64_t rows, int64_t cols) {
     return Full(rows, cols, 1.0f);
   }

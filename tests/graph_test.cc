@@ -3,9 +3,16 @@
 
 #include "graph/graph.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "graph/graph_editor.h"
+#include "graph/reorder.h"
 
 namespace graphrare {
 namespace graph {
@@ -206,6 +213,111 @@ TEST(GraphEditorTest, DirectionAgnostic) {
   EXPECT_TRUE(editor.AddEdge(3, 1));
   EXPECT_FALSE(editor.AddEdge(1, 3));  // same undirected edge
   EXPECT_EQ(editor.num_pending_additions(), 1);
+}
+
+// ----------------------------------------------------------------- reorder
+
+TEST(ReorderTest, DegreeSortPutsHubsFirst) {
+  // Star around node 3 plus a pendant chain: degrees 3:4, 0:2, others 1.
+  Graph g = Graph::FromEdgeListOrDie(
+      6, {{3, 0}, {3, 1}, {3, 2}, {3, 4}, {0, 5}});
+  const auto perm = DegreeSortPermutation(g);
+  const auto inv = InversePermutation(perm);
+  for (size_t i = 1; i < inv.size(); ++i) {
+    EXPECT_GE(g.Degree(inv[i - 1]), g.Degree(inv[i]))
+        << "degrees must be non-increasing in the new order";
+  }
+  EXPECT_EQ(perm[3], 0) << "the hub takes id 0";
+}
+
+TEST(ReorderTest, RcmRelabelsShuffledPathToBandwidthOne) {
+  // A 30-node path under scrambled labels: node i connects to i+1 through
+  // the scramble. RCM must recover consecutive labels along the path.
+  const int64_t n = 30;
+  Rng rng(201);
+  std::vector<int64_t> scramble(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) scramble[static_cast<size_t>(i)] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    std::swap(scramble[static_cast<size_t>(i)],
+              scramble[rng.UniformInt(static_cast<uint64_t>(i) + 1)]);
+  }
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(scramble[static_cast<size_t>(i)],
+                       scramble[static_cast<size_t>(i) + 1]);
+  }
+  Graph g = Graph::FromEdgeListOrDie(n, edges);
+  const auto perm = RcmPermutation(g);
+  Graph r = PermuteGraph(g, perm);
+  int64_t bandwidth = 0;
+  for (const auto& [u, v] : r.edges()) {
+    bandwidth = std::max(bandwidth, std::abs(u - v));
+  }
+  EXPECT_EQ(bandwidth, 1);
+}
+
+TEST(ReorderTest, RcmCoversDisconnectedComponentsAndIsolatedNodes) {
+  // Two components plus isolated node 6: the permutation must still be a
+  // bijection over all seven ids.
+  Graph g = Graph::FromEdgeListOrDie(
+      7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto perm = RcmPermutation(g);
+  EXPECT_EQ(perm.size(), 7u);
+  const auto inv = InversePermutation(perm);  // aborts if not a bijection
+  EXPECT_EQ(inv.size(), 7u);
+}
+
+TEST(ReorderTest, PermuteGraphPreservesTopology) {
+  Graph g = Graph::FromEdgeListOrDie(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  const std::vector<int64_t> perm = {4, 2, 0, 3, 1};
+  Graph p = PermuteGraph(g, perm);
+  EXPECT_EQ(p.num_nodes(), g.num_nodes());
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  for (int64_t u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(p.Degree(perm[static_cast<size_t>(u)]), g.Degree(u));
+  }
+  EXPECT_TRUE(p.HasEdge(perm[1], perm[3]));
+  EXPECT_FALSE(p.HasEdge(perm[0], perm[2]));
+}
+
+TEST(ReorderTest, ReorderCsrRoundTripsBitwise) {
+  // Permuting a CSR matrix and permuting back with the inverse must
+  // reproduce the original arrays bit for bit — the machinery moves
+  // values, it never recomputes them.
+  Rng rng(203);
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i < 200; ++i) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(40));
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(40));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  Graph g = Graph::FromEdgeListOrDie(40, edges);
+  const tensor::CsrMatrix m = *g.NormalizedAdjacency();
+  for (const ReorderKind kind :
+       {ReorderKind::kDegreeSort, ReorderKind::kRcm}) {
+    const auto perm = ReorderPermutation(g, kind);
+    const tensor::CsrMatrix fwd = ReorderCsr(m, perm);
+    // Entries land where the permutation says.
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t p = m.row_ptr()[static_cast<size_t>(r)];
+           p < m.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        const int64_t c = m.col_idx()[static_cast<size_t>(p)];
+        EXPECT_EQ(fwd.At(perm[static_cast<size_t>(r)],
+                         perm[static_cast<size_t>(c)]),
+                  m.values()[static_cast<size_t>(p)]);
+      }
+    }
+    const tensor::CsrMatrix back = ReorderCsr(fwd, InversePermutation(perm));
+    EXPECT_EQ(back.row_ptr(), m.row_ptr());
+    EXPECT_EQ(back.col_idx(), m.col_idx());
+    EXPECT_EQ(back.values(), m.values());
+  }
+}
+
+TEST(ReorderDeathTest, InversePermutationRejectsNonBijections) {
+  EXPECT_DEATH(InversePermutation({0, 0, 1}), "GR_CHECK");
+  EXPECT_DEATH(InversePermutation({0, 1, 5}), "GR_CHECK");
 }
 
 }  // namespace

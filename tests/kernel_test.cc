@@ -19,6 +19,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -446,6 +447,251 @@ TEST(SparseFastPaths, TransposedMatchesCooRoundTrip) {
   // Cache: repeated calls hand back the same matrix.
   EXPECT_EQ(direct.get(), m.Transposed().get());
 }
+
+// ------------------------------------------------------------ SpMM contract
+
+/// The SpMM bitwise contract: one float accumulator per (row, feature),
+/// the row's entries added in ascending-p order. The vectorised kernels
+/// (full-width 8-float panels) must reproduce this exactly because each
+/// output element still sums the same values in the same order — panels
+/// vectorise across features, never across the reduction.
+Tensor RefSpmm(const CsrMatrix& m, const Tensor& x) {
+  Tensor y(m.rows(), x.cols());
+  const auto& rp = m.row_ptr();
+  const auto& ci = m.col_idx();
+  const auto& v = m.values();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      float acc = 0.0f;
+      for (int64_t p = rp[static_cast<size_t>(r)];
+           p < rp[static_cast<size_t>(r) + 1]; ++p) {
+        acc += v[static_cast<size_t>(p)] *
+               x.at(ci[static_cast<size_t>(p)], c);
+      }
+      y.at(r, c) = acc;
+    }
+  }
+  return y;
+}
+
+TEST(SpmmContract, BitwiseMatchesScalarReferenceOnRaggedWidths) {
+  // Widths straddle every dispatch path: scalar tail only (1, 3), one
+  // 8-panel (8), panel + tail (17), full 64-slab (64), slab + 32 + 8 +
+  // tail (107). Rows 20..29 are left structurally empty.
+  Rng rng(17);
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < 700; ++i) {
+    int64_t r = static_cast<int64_t>(rng.UniformInt(97));
+    if (r >= 20 && r < 30) r = 5;
+    entries.push_back({r, static_cast<int64_t>(rng.UniformInt(53)),
+                       static_cast<float>(rng.Uniform(-1.0, 1.0))});
+  }
+  const CsrMatrix m = CsrMatrix::FromCoo(97, 53, std::move(entries));
+  for (const int64_t f : {1L, 3L, 8L, 17L, 64L, 107L}) {
+    Rng xr(static_cast<uint64_t>(f) + 100);
+    const Tensor x = Tensor::Randn(53, f, &xr);
+    const Tensor got = m.SpMM(x);
+    const Tensor want = RefSpmm(m, x);
+    ASSERT_EQ(got.rows(), want.rows());
+    for (int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "f=" << f << " flat=" << i;
+    }
+    // Empty rows come out exactly zero.
+    for (int64_t r = 20; r < 30; ++r) {
+      for (int64_t c = 0; c < f; ++c) {
+        ASSERT_EQ(got.at(r, c), 0.0f) << "empty row " << r;
+      }
+    }
+  }
+}
+
+TEST(SpmmContract, BitwiseOnPowerLawDegrees) {
+  // Hub-heavy rows: row ids drawn ~ n * U^3, so a handful of rows collect
+  // hundreds of entries (exercising long reductions through the slab
+  // kernels) while most rows hold a few or none.
+  Rng rng(19);
+  const int64_t n = 300;
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < 6000; ++i) {
+    const double u = rng.Uniform();
+    const int64_t r = static_cast<int64_t>(static_cast<double>(n) * u * u * u);
+    entries.push_back({std::min(r, n - 1),
+                       static_cast<int64_t>(rng.UniformInt(n)),
+                       static_cast<float>(rng.Uniform(-1.0, 1.0))});
+  }
+  const CsrMatrix m = CsrMatrix::FromCoo(n, n, std::move(entries));
+  Rng xr(23);
+  const Tensor x = Tensor::Randn(n, 48, &xr);
+  ExpectSameBits(m.SpMM(x), RefSpmm(m, x), "SpMM power-law");
+}
+
+// ---------------------------------------------------------- fused GAT kernel
+
+/// The unfused chain GatSegmentAttention replaces; kept verbatim from the
+/// original GATConv::Forward as the equivalence oracle.
+Variable ChainGat(const Variable& h, const Variable& sl, const Variable& sr,
+                  const std::vector<int64_t>& src,
+                  const std::vector<int64_t>& dst, int64_t n, float slope,
+                  float dropout_p, bool training, Rng* rng) {
+  Variable e = ops::LeakyRelu(
+      ops::Add(ops::GatherRows(sl, src), ops::GatherRows(sr, dst)), slope);
+  Variable alpha = ops::SegmentSoftmax(e, dst, n);
+  if (dropout_p > 0.0f) {
+    alpha = ops::Dropout(alpha, dropout_p, training, rng);
+  }
+  Variable messages = ops::RowScale(ops::GatherRows(h, src), alpha);
+  return ops::ScatterAddRows(messages, dst, n);
+}
+
+/// Directed edge list with self loops for a small random graph.
+void TestEdges(int64_t n, uint64_t seed, std::vector<int64_t>* src,
+               std::vector<int64_t>* dst) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < n * 3; ++i) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(n));
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(n));
+    if (u == v) continue;
+    src->push_back(u);
+    dst->push_back(v);
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    src->push_back(v);
+    dst->push_back(v);
+  }
+}
+
+/// Runs fused or chain GAT with h/sl/sr as independent leaves (the op's
+/// own bitwise contract: when sl/sr are derived from h via MatMul, the
+/// ORDER in which sibling nodes add into h.grad is a property of the
+/// tape's topological sort, not of the op) and a non-uniform upstream
+/// gradient (loss = sum(out * weights)).
+struct GatRun {
+  Tensor out, d_h, d_sl, d_sr;
+};
+GatRun RunGat(bool fused, const Tensor& h_val, const Tensor& sl_val,
+              const Tensor& sr_val, const std::vector<int64_t>& src,
+              const std::vector<int64_t>& dst, int64_t n, float dropout_p,
+              Rng* rng) {
+  Variable h(h_val, /*requires_grad=*/true);
+  Variable sl(sl_val, /*requires_grad=*/true);
+  Variable sr(sr_val, /*requires_grad=*/true);
+  Variable out =
+      fused ? ops::GatSegmentAttention(h, sl, sr, src, dst, n,
+                                       /*negative_slope=*/0.2f, dropout_p,
+                                       /*training=*/true, rng)
+            : ChainGat(h, sl, sr, src, dst, n, 0.2f, dropout_p, true, rng);
+  Rng wr(7);
+  Variable weights(Tensor::Randn(n, h_val.cols(), &wr));
+  ops::SumAll(ops::Mul(out, weights)).Backward();
+  return {out.value(), h.grad(), sl.grad(), sr.grad()};
+}
+
+TEST(FusedGat, ForwardAndBackwardMatchChainBitwise) {
+  const int64_t n = 37, f = 19;
+  std::vector<int64_t> src, dst;
+  TestEdges(n, 41, &src, &dst);
+  Rng rng(43);
+  const Tensor h_val = Tensor::Randn(n, f, &rng);
+  const Tensor sl_val = Tensor::Randn(n, 1, &rng);
+  const Tensor sr_val = Tensor::Randn(n, 1, &rng);
+  const GatRun chain =
+      RunGat(false, h_val, sl_val, sr_val, src, dst, n, 0.0f, nullptr);
+  const GatRun fused =
+      RunGat(true, h_val, sl_val, sr_val, src, dst, n, 0.0f, nullptr);
+  ExpectSameBits(fused.out, chain.out, "fused GAT forward");
+  ExpectSameBits(fused.d_h, chain.d_h, "fused GAT d_h");
+  ExpectSameBits(fused.d_sl, chain.d_sl, "fused GAT d_sl");
+  ExpectSameBits(fused.d_sr, chain.d_sr, "fused GAT d_sr");
+}
+
+TEST(FusedGat, DropoutRngStreamMatchesChain) {
+  const int64_t n = 23, f = 8;
+  std::vector<int64_t> src, dst;
+  TestEdges(n, 47, &src, &dst);
+  Rng rng(53);
+  const Tensor h_val = Tensor::Randn(n, f, &rng);
+  const Tensor sl_val = Tensor::Randn(n, 1, &rng);
+  const Tensor sr_val = Tensor::Randn(n, 1, &rng);
+  Rng chain_rng(97), fused_rng(97);  // identical stream for both sides
+  const GatRun chain =
+      RunGat(false, h_val, sl_val, sr_val, src, dst, n, 0.4f, &chain_rng);
+  const GatRun fused =
+      RunGat(true, h_val, sl_val, sr_val, src, dst, n, 0.4f, &fused_rng);
+  ExpectSameBits(fused.out, chain.out, "fused GAT dropout forward");
+  ExpectSameBits(fused.d_h, chain.d_h, "fused GAT dropout d_h");
+  ExpectSameBits(fused.d_sl, chain.d_sl, "fused GAT dropout d_sl");
+  ExpectSameBits(fused.d_sr, chain.d_sr, "fused GAT dropout d_sr");
+}
+
+TEST(FusedGat, EvalModeDropoutIsIdentity) {
+  const int64_t n = 11, f = 4;
+  std::vector<int64_t> src, dst;
+  TestEdges(n, 59, &src, &dst);
+  Rng rng(61);
+  Variable h(Tensor::Randn(n, f, &rng));
+  Variable sl(Tensor::Randn(n, 1, &rng));
+  Variable sr(Tensor::Randn(n, 1, &rng));
+  Rng drop_rng(1);
+  const Variable with_p = ops::GatSegmentAttention(
+      h, sl, sr, src, dst, n, 0.2f, /*dropout_p=*/0.5f,
+      /*training=*/false, &drop_rng);
+  const Variable without = ops::GatSegmentAttention(
+      h, sl, sr, src, dst, n, 0.2f, /*dropout_p=*/0.0f,
+      /*training=*/false, nullptr);
+  ExpectSameBits(with_p.value(), without.value(), "eval-mode dropout");
+}
+
+TEST(FusedGat, GradCheckAgainstFiniteDifferences) {
+  const int64_t n = 9, f = 5;
+  std::vector<int64_t> src, dst;
+  TestEdges(n, 67, &src, &dst);
+  Rng rng(71);
+  std::vector<Variable> inputs;
+  inputs.emplace_back(Tensor::Randn(n, f, &rng), /*requires_grad=*/true);
+  inputs.emplace_back(Tensor::Randn(n, 1, &rng), /*requires_grad=*/true);
+  inputs.emplace_back(Tensor::Randn(n, 1, &rng), /*requires_grad=*/true);
+  auto fn = [&](const std::vector<Variable>& in) {
+    return ops::SumAll(ops::GatSegmentAttention(in[0], in[1], in[2], src,
+                                                dst, n, 0.2f, 0.0f, false,
+                                                nullptr));
+  };
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const GradCheckResult r = CheckGradient(fn, &inputs, i);
+    EXPECT_TRUE(r.ok) << "input " << i << " max_abs_err=" << r.max_abs_err
+                      << " max_rel_err=" << r.max_rel_err << " at "
+                      << r.worst_index;
+  }
+}
+
+#ifdef _OPENMP
+TEST(ThreadInvariance, FusedGatForward) {
+  const int64_t n = 200, f = 32;
+  std::vector<int64_t> src, dst;
+  TestEdges(n, 73, &src, &dst);
+  Rng rng(79);
+  const Tensor h_val = Tensor::Randn(n, f, &rng);
+  const Tensor a_src = Tensor::Randn(f, 1, &rng);
+  const Tensor a_dst = Tensor::Randn(f, 1, &rng);
+  ExpectThreadCountInvariant(
+      [&] {
+        Variable h(h_val, /*requires_grad=*/true);
+        Variable sl = ops::MatMul(h, Variable(a_src));
+        Variable sr = ops::MatMul(h, Variable(a_dst));
+        Variable out = ops::GatSegmentAttention(h, sl, sr, src, dst, n,
+                                                0.2f, 0.0f, true, nullptr);
+        ops::SumAll(out).Backward();
+        Tensor both(n, f + 1);
+        // Pack forward value and d_h into one tensor so a single bitwise
+        // comparison covers the whole pass.
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t c = 0; c < f; ++c) both.at(r, c) = h.grad().at(r, c);
+          both.at(r, f) = out.value().at(r, 0);
+        }
+        return both;
+      },
+      "fused GAT forward+backward");
+}
+#endif  // _OPENMP
 
 }  // namespace
 }  // namespace tensor

@@ -4,6 +4,9 @@
 #include "tensor/sparse.h"
 
 #include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -210,6 +213,85 @@ TEST(CsrDeathTest, SpMMDimensionMismatchAborts) {
   CsrMatrix m = SmallMatrix();
   Tensor x(4, 2);
   EXPECT_DEATH(m.SpMM(x), "GR_CHECK");
+}
+
+CsrMatrix RandomMatrix(int64_t rows, int64_t cols, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(rows)),
+                       static_cast<int64_t>(rng.UniformInt(cols)),
+                       static_cast<float>(rng.Uniform(-2.0, 2.0))});
+  }
+  return CsrMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+void ExpectSameCsr(const CsrMatrix& got, const CsrMatrix& want) {
+  EXPECT_EQ(got.rows(), want.rows());
+  EXPECT_EQ(got.cols(), want.cols());
+  EXPECT_EQ(got.row_ptr(), want.row_ptr());
+  EXPECT_EQ(got.col_idx(), want.col_idx());
+  EXPECT_EQ(got.values(), want.values());
+}
+
+TEST(CsrPermutedTest, MatchesCooOracle) {
+  const CsrMatrix m = RandomMatrix(17, 17, 90, 101);
+  Rng rng(103);
+  std::vector<int64_t> perm(17);
+  for (int64_t i = 0; i < 17; ++i) perm[static_cast<size_t>(i)] = i;
+  for (int64_t i = 16; i > 0; --i) {
+    std::swap(perm[static_cast<size_t>(i)],
+              perm[rng.UniformInt(static_cast<uint64_t>(i) + 1)]);
+  }
+  struct Case {
+    bool rows, cols;
+  };
+  for (const Case c : {Case{true, true}, Case{true, false},
+                       Case{false, true}}) {
+    std::vector<CooEntry> mapped;
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t p = m.row_ptr()[static_cast<size_t>(r)];
+           p < m.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+        const int64_t col = m.col_idx()[static_cast<size_t>(p)];
+        mapped.push_back(
+            {c.rows ? perm[static_cast<size_t>(r)] : r,
+             c.cols ? perm[static_cast<size_t>(col)] : col,
+             m.values()[static_cast<size_t>(p)]});
+      }
+    }
+    ExpectSameCsr(m.Permuted(perm, c.rows, c.cols),
+                  CsrMatrix::FromCoo(17, 17, std::move(mapped)));
+  }
+}
+
+TEST(CsrTransposedTest, ConcurrentCallsShareOneInstance) {
+  // Transposed() is lazily cached behind std::call_once; hammer it from
+  // many threads and require a single shared instance with correct
+  // contents.
+  const CsrMatrix m = RandomMatrix(120, 80, 2000, 107);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CsrMatrix>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, &results, t] {
+      for (int i = 0; i < 50; ++i) results[static_cast<size_t>(t)] =
+          m.Transposed();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[static_cast<size_t>(t)].get(), results[0].get());
+  }
+  // Contents: (c, r) of every original entry.
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t p = m.row_ptr()[static_cast<size_t>(r)];
+         p < m.row_ptr()[static_cast<size_t>(r) + 1]; ++p) {
+      EXPECT_EQ(
+          results[0]->At(m.col_idx()[static_cast<size_t>(p)], r),
+          m.values()[static_cast<size_t>(p)]);
+    }
+  }
 }
 
 }  // namespace
