@@ -1,35 +1,121 @@
-// Minimal serving daemon built on serve::InferenceEngine: load a model
-// artifact once, answer node-classification queries from a file or stdin,
-// and report latency percentiles — the deploy half of the GraphRARE
-// train -> artifact -> serve pipeline.
+// Serving daemon for GraphRARE model artifacts — the deploy half of the
+// train -> artifact -> serve pipeline. Two front-ends, one dispatch path:
+// every query, whether it arrives on stdin, from a --queries file, or over
+// HTTP, goes through the same serve::EngineHandle ->
+// net::ContinuousBatcher pipeline, and every completion lands in the same
+// latency accounting, so the percentile report printed at shutdown means
+// the same thing in all modes.
 //
 // Usage:
 //   graphrare_serve --artifact=model.grare [--queries=FILE] [--topk=3]
 //                   [--fanouts=10,10] [--batch] [--seed=1]
+//                   [--http=PORT] [--max-batch=16] [--max-delay-ms=2]
+//                   [--workers=1] [--slo-ms=50]
 //
-// Query input (FILE, or stdin when --queries is omitted): one query per
-// line, each a whitespace-separated list of node ids. With --batch all
-// queries are answered by one PredictBatch call (OpenMP-parallel);
-// otherwise they run one Predict at a time, which is what the per-query
-// latency percentiles measure.
+// CLI mode (default): one query per line, each a whitespace-separated list
+// of node ids. Queries run one at a time through the batcher (the
+// per-query latency percentiles measure exactly that); with --batch all
+// queries are submitted up front and the batcher coalesces them into full
+// engine calls.
+//
+// HTTP mode (--http=PORT): serves POST /v1/predict, POST /v1/topk,
+// POST /v1/reload (artifact hot-swap), GET /healthz, and GET /metrics on
+// 127.0.0.1:PORT until SIGINT/SIGTERM.
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: stop admitting work,
+// drain everything in flight, then print final percentiles.
 //
 // Produce an artifact with:
 //   graphrare_cli --dataset=cornell --rare --save-artifact=model.grare
 
-#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "core/graphrare.h"
+#include "net/batcher.h"
+#include "net/server.h"
 
 using namespace graphrare;
+
+namespace {
+
+std::atomic<net::HttpServer*> g_server{nullptr};
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) {
+  g_stop = 1;
+  if (net::HttpServer* server = g_server.load()) server->Shutdown();
+}
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read must return so
+                    // the CLI loop can drain and report
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+void PrintLatencySummary(const char* label, const LatencySummary& s) {
+  if (s.count == 0) return;
+  std::printf("# %s latency (n=%lld): p50 %.3fms  p90 %.3fms  "
+              "p99 %.3fms  max %.3fms\n",
+              label, static_cast<long long>(s.count), s.p50, s.p90, s.p99,
+              s.max);
+}
+
+/// The shared dispatch seam: submits through the batcher and records the
+/// submit->completion time of every query into one recorder.
+struct Dispatcher {
+  net::ContinuousBatcher& batcher;
+  LatencyRecorder latency_ms;
+
+  /// Submits one query and blocks for its answer. Retries briefly when the
+  /// admission queue is full; any other Submit failure is returned.
+  Result<std::vector<serve::Prediction>> Ask(std::vector<int64_t> ids) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::vector<serve::Prediction>> out =
+        Status::Internal("no completion delivered");
+    const Stopwatch watch;
+    while (true) {
+      Status admitted = batcher.Submit(
+          ids, [&](Result<std::vector<serve::Prediction>> r) {
+            std::lock_guard<std::mutex> lock(mu);
+            out = std::move(r);
+            done = true;
+            cv.notify_one();
+          });
+      if (admitted.ok()) break;
+      if (g_stop || admitted.message() != "request queue is full") {
+        return admitted;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    latency_ms.Record(watch.ElapsedMillis());
+    return out;
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
@@ -37,6 +123,9 @@ int main(int argc, char** argv) {
   int topk = 1;
   bool batch = false;
   uint64_t seed = 1;
+  int http_port = -1;
+  net::BatcherOptions batcher_opts;
+  double slo_ms = 50.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> const char* {
@@ -53,6 +142,16 @@ int main(int argc, char** argv) {
       topk = std::atoi(v);
     } else if (const char* v = value("--seed=")) {
       seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--http=")) {
+      http_port = std::atoi(v);
+    } else if (const char* v = value("--max-batch=")) {
+      batcher_opts.max_batch = std::atoi(v);
+    } else if (const char* v = value("--max-delay-ms=")) {
+      batcher_opts.max_queue_delay_ms = std::atof(v);
+    } else if (const char* v = value("--workers=")) {
+      batcher_opts.num_workers = std::atoi(v);
+    } else if (const char* v = value("--slo-ms=")) {
+      slo_ms = std::atof(v);
     } else if (arg == "--batch") {
       batch = true;
     } else {
@@ -63,8 +162,13 @@ int main(int argc, char** argv) {
   if (artifact_path.empty()) {
     std::fprintf(stderr,
                  "usage: graphrare_serve --artifact=model.grare "
-                 "[--queries=FILE] [--topk=K] [--fanouts=10,10] "
-                 "[--batch]\n");
+                 "[--queries=FILE] [--topk=K] [--fanouts=10,10] [--batch] "
+                 "[--http=PORT] [--max-batch=N] [--max-delay-ms=MS] "
+                 "[--workers=N] [--slo-ms=MS]\n");
+    return 2;
+  }
+  if (const Status s = batcher_opts.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 2;
   }
 
@@ -84,17 +188,61 @@ int main(int argc, char** argv) {
                  engine_or.status().ToString().c_str());
     return 1;
   }
-  const serve::InferenceEngine& engine = *engine_or;
-  std::printf("# loaded %s (%s, %lld nodes, %lld classes, %s mode) "
-              "in %.3fs\n",
-              artifact_path.c_str(),
-              nn::BackboneName(engine.artifact().backbone),
-              static_cast<long long>(engine.num_nodes()),
-              static_cast<long long>(engine.num_classes()),
-              engine.full_graph_mode() ? "full-graph" : "sampled",
-              load_watch.ElapsedSeconds());
+  auto handle = std::make_shared<serve::EngineHandle>(
+      std::make_shared<const serve::InferenceEngine>(
+          std::move(engine_or.value())));
+  {
+    const auto engine = handle->Get();
+    std::printf("# loaded %s (%s, %lld nodes, %lld classes, %s mode) "
+                "in %.3fs\n",
+                artifact_path.c_str(),
+                nn::BackboneName(engine->artifact().backbone),
+                static_cast<long long>(engine->num_nodes()),
+                static_cast<long long>(engine->num_classes()),
+                engine->full_graph_mode() ? "full-graph" : "sampled",
+                load_watch.ElapsedSeconds());
+  }
 
-  // Read queries: one per line, whitespace-separated node ids.
+  auto batcher =
+      std::make_shared<net::ContinuousBatcher>(handle, batcher_opts);
+  InstallSignalHandlers();
+
+  if (http_port >= 0) {
+    net::HttpServerOptions server_opts;
+    server_opts.port = http_port;
+    server_opts.slo_ms = slo_ms;
+    server_opts.batcher = batcher_opts;
+    net::HttpServer server(handle, batcher, server_opts);
+    if (const Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("# serving on http://%s:%d (max_batch=%d, "
+                "max_delay=%.1fms, workers=%d, slo=%.1fms)\n",
+                server_opts.host.c_str(), server.port(),
+                batcher_opts.max_batch, batcher_opts.max_queue_delay_ms,
+                batcher_opts.num_workers, slo_ms);
+    std::fflush(stdout);
+    g_server.store(&server);
+    if (g_stop) server.Shutdown();  // signal raced the store
+    server.Run();
+    g_server.store(nullptr);
+
+    const net::BatcherStats stats = server.batcher().Stats();
+    std::printf("# shutdown: %lld connections, %lld requests in %lld "
+                "batches (max batch %lld)\n",
+                static_cast<long long>(server.connections_total()),
+                static_cast<long long>(stats.submitted),
+                static_cast<long long>(stats.batches),
+                static_cast<long long>(stats.max_batch_seen));
+    for (const net::RouteStats& route : server.AllRouteStats()) {
+      PrintLatencySummary(route.route.c_str(), route.latency_ms);
+    }
+    batcher->Stop();
+    return 0;
+  }
+
+  // CLI mode: queries from a file, or stdin when --queries is omitted.
   std::ifstream file;
   if (!queries_path.empty()) {
     file.open(queries_path);
@@ -105,20 +253,14 @@ int main(int argc, char** argv) {
     }
   }
   std::istream& in = queries_path.empty() ? std::cin : file;
-  std::vector<std::vector<int64_t>> requests;
-  std::string line;
-  while (std::getline(in, line)) {
+
+  auto parse_line = [](const std::string& line) {
     std::istringstream ss(line);
     std::vector<int64_t> ids;
     int64_t id = 0;
     while (ss >> id) ids.push_back(id);
-    if (!ids.empty()) requests.push_back(std::move(ids));
-  }
-  if (requests.empty()) {
-    std::fprintf(stderr, "error: no queries (one 'id id ...' per line)\n");
-    return 2;
-  }
-
+    return ids;
+  };
   auto print_predictions = [&](const std::vector<serve::Prediction>& preds) {
     for (const serve::Prediction& p : preds) {
       std::printf("node %lld -> class %lld",
@@ -136,46 +278,90 @@ int main(int argc, char** argv) {
     }
   };
 
+  Dispatcher dispatcher{*batcher, LatencyRecorder()};
+  size_t num_queries = 0;
   int64_t total_nodes = 0;
-  for (const auto& r : requests) {
-    total_nodes += static_cast<int64_t>(r.size());
-  }
-  Stopwatch total_watch;
-  std::vector<double> latencies_ms;
+  bool interrupted = false;
+  const Stopwatch total_watch;
+  std::string line;
+
   if (batch) {
-    auto results = engine.PredictBatch(requests);
-    if (!results.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   results.status().ToString().c_str());
-      return 1;
+    // Submit everything up front; the batcher coalesces arrivals into full
+    // engine calls. Answers print in submission order.
+    std::vector<std::vector<int64_t>> requests;
+    while (!g_stop && std::getline(in, line)) {
+      auto ids = parse_line(line);
+      if (!ids.empty()) requests.push_back(std::move(ids));
     }
-    for (const auto& preds : results.value()) print_predictions(preds);
-  } else {
-    latencies_ms.reserve(requests.size());
-    for (const auto& request : requests) {
-      Stopwatch watch;
-      auto preds = engine.Predict(request);
-      if (!preds.ok()) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Result<std::vector<serve::Prediction>>> results(
+        requests.size(), Status::Internal("no completion delivered"));
+    size_t remaining = requests.size();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Stopwatch watch;
+      while (true) {
+        Status admitted = batcher->Submit(
+            requests[i],
+            [&, i, watch](Result<std::vector<serve::Prediction>> r) {
+              std::lock_guard<std::mutex> lock(mu);
+              dispatcher.latency_ms.Record(watch.ElapsedMillis());
+              results[i] = std::move(r);
+              if (--remaining == 0) cv.notify_one();
+            });
+        if (admitted.ok()) break;
+        if (admitted.message() != "request queue is full") {
+          std::fprintf(stderr, "error: %s\n",
+                       admitted.ToString().c_str());
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      total_nodes += static_cast<int64_t>(requests[i].size());
+    }
+    num_queries = requests.size();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+    for (const auto& result : results) {
+      if (!result.ok()) {
         std::fprintf(stderr, "error: %s\n",
-                     preds.status().ToString().c_str());
+                     result.status().ToString().c_str());
         return 1;
       }
-      latencies_ms.push_back(watch.ElapsedSeconds() * 1e3);
-      print_predictions(preds.value());
+      print_predictions(result.value());
+    }
+  } else {
+    // Streaming: answer each line as it arrives. A signal interrupts the
+    // blocked read (no SA_RESTART), so the loop falls through to the
+    // drain + report below.
+    while (!g_stop && std::getline(in, line)) {
+      auto ids = parse_line(line);
+      if (ids.empty()) continue;
+      total_nodes += static_cast<int64_t>(ids.size());
+      auto result = dispatcher.Ask(std::move(ids));
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      print_predictions(result.value());
+      ++num_queries;
     }
   }
-  const double total_s = total_watch.ElapsedSeconds();
+  interrupted = g_stop != 0;
+  batcher->Stop();  // drains anything still queued
 
-  std::printf("# %zu queries (%lld nodes) in %.3fs -> %.0f nodes/s\n",
-              requests.size(), static_cast<long long>(total_nodes),
-              total_s, static_cast<double>(total_nodes) / total_s);
-  if (!latencies_ms.empty()) {
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    std::printf("# per-query latency: p50 %.3fms  p90 %.3fms  p99 %.3fms  "
-                "max %.3fms\n",
-                Percentile(latencies_ms, 0.50),
-                Percentile(latencies_ms, 0.90),
-                Percentile(latencies_ms, 0.99), latencies_ms.back());
+  if (num_queries == 0 && !interrupted) {
+    std::fprintf(stderr, "error: no queries (one 'id id ...' per line)\n");
+    return 2;
   }
+  const double total_s = total_watch.ElapsedSeconds();
+  std::printf("# %zu queries (%lld nodes) in %.3fs -> %.0f nodes/s%s\n",
+              num_queries, static_cast<long long>(total_nodes), total_s,
+              total_s > 0 ? static_cast<double>(total_nodes) / total_s : 0.0,
+              interrupted ? " (interrupted; drained)" : "");
+  PrintLatencySummary("per-query", dispatcher.latency_ms.Summary());
   return 0;
 }

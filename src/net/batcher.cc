@@ -1,0 +1,174 @@
+#include "net/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace graphrare {
+namespace net {
+
+Status BatcherOptions::Validate() const {
+  if (max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (max_queue_delay_ms < 0.0) {
+    return Status::InvalidArgument("max_queue_delay_ms must be >= 0");
+  }
+  if (max_queue_depth < 1) {
+    return Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  return Status::OK();
+}
+
+ContinuousBatcher::ContinuousBatcher(
+    std::shared_ptr<serve::EngineHandle> engine, BatcherOptions options)
+    : engine_(std::move(engine)), options_(options) {
+  GR_CHECK(engine_ != nullptr) << "ContinuousBatcher needs an engine handle";
+  GR_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ContinuousBatcher::~ContinuousBatcher() { Stop(); }
+
+Status ContinuousBatcher::Submit(std::vector<int64_t> node_ids,
+                                 Callback done) {
+  GR_CHECK(done != nullptr) << "Submit needs a completion callback";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("batcher is shutting down");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+      ++rejected_;
+      return Status::FailedPrecondition("request queue is full");
+    }
+    Pending p;
+    p.node_ids = std::move(node_ids);
+    p.done = std::move(done);
+    p.seq = next_seq_++;
+    queue_.push_back(std::move(p));
+    ++submitted_;
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ContinuousBatcher::WorkerLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+
+      // Continuous admission: wait at most max_queue_delay_ms (measured
+      // from the oldest queued request) for the batch to fill; take
+      // whatever is there the moment it is full, stale, or stopping.
+      if (options_.max_queue_delay_ms > 0.0) {
+        while (static_cast<int>(queue_.size()) < options_.max_batch &&
+               !stopping_) {
+          const double remaining_ms =
+              options_.max_queue_delay_ms - queue_.front().queued.ElapsedMillis();
+          if (remaining_ms <= 0.0) break;
+          cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 remaining_ms));
+        }
+        if (queue_.empty()) {
+          if (stopping_) return;
+          continue;  // another worker took everything while we waited
+        }
+      }
+
+      const size_t take = std::min(queue_.size(),
+                                   static_cast<size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        queue_delay_ms_.Record(queue_.front().queued.ElapsedMillis());
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++batches_;
+      batched_requests_ += static_cast<int64_t>(take);
+      max_batch_seen_ = std::max(max_batch_seen_, static_cast<int64_t>(take));
+    }
+    // More work may remain for the other workers.
+    cv_.notify_one();
+
+    // One engine snapshot per batch: a hot-swap never splits a batch
+    // across versions, and old engines stay alive until their last batch
+    // completes.
+    const std::shared_ptr<const serve::InferenceEngine> engine =
+        engine_->Get();
+    std::vector<std::vector<int64_t>> requests;
+    std::vector<uint64_t> seeds;
+    requests.reserve(batch.size());
+    seeds.reserve(batch.size());
+    for (const Pending& p : batch) {
+      requests.push_back(p.node_ids);
+      seeds.push_back(p.seq);
+    }
+    auto results = engine->PredictBatchWithSeeds(requests, seeds);
+
+    if (results.ok()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].done(std::move(results.value()[i]));
+      }
+    } else {
+      // A batch-level failure means at least one request was invalid; the
+      // engine call is all-or-nothing, so re-run the members one by one
+      // and let each callback see its own verdict. (The per-request seed
+      // keeps the answers identical to the batched evaluation.)
+      for (Pending& p : batch) {
+        std::vector<std::vector<int64_t>> one = {p.node_ids};
+        auto result = engine->PredictBatchWithSeeds(one, {p.seq});
+        if (result.ok()) {
+          p.done(std::move(result.value()[0]));
+        } else {
+          p.done(result.status());
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += static_cast<int64_t>(batch.size());
+    }
+  }
+}
+
+void ContinuousBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+BatcherStats ContinuousBatcher::Stats() const {
+  BatcherStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.batches = batches_;
+    s.batched_requests = batched_requests_;
+    s.max_batch_seen = max_batch_seen_;
+    s.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  s.queue_delay_ms = queue_delay_ms_.Summary();
+  return s;
+}
+
+}  // namespace net
+}  // namespace graphrare

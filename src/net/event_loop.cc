@@ -1,0 +1,132 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Ok() const {
+  if (epoll_fd_ < 0) return Status::Internal("epoll_create1 failed");
+  if (wake_fd_ < 0) return Status::Internal("eventfd failed");
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));  // EAGAIN just means "already woken"
+}
+
+void EventLoop::Stop() {
+  stop_.store(true);
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeFd() {
+  uint64_t value = 0;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::Run(int tick_ms, const std::function<void()>& on_tick) {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, tick_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWakeFd();
+        continue;
+      }
+      // A callback earlier in this batch may have closed this fd: look it
+      // up fresh, and copy the handler so Remove() inside it stays safe.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      FdCallback callback = it->second;
+      callback(events[i].events);
+    }
+
+    // Posted tasks (cross-thread completions) after fd events, so a task
+    // targeting a connection closed in this batch sees it gone.
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      tasks.swap(posted_);
+    }
+    for (auto& task : tasks) task();
+
+    if (on_tick) on_tick();
+  }
+}
+
+}  // namespace net
+}  // namespace graphrare

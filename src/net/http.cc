@@ -1,0 +1,215 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace graphrare {
+namespace net {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+/// True when a comma-separated header value contains `token`
+/// (case-insensitive), per the Connection header grammar.
+bool HasToken(const std::string& value, const char* token) {
+  const std::string lower = ToLower(value);
+  size_t begin = 0;
+  while (begin <= lower.size()) {
+    size_t end = lower.find(',', begin);
+    if (end == std::string::npos) end = lower.size();
+    if (Trim(lower.substr(begin, end - begin)) == token) return true;
+    begin = end + 1;
+  }
+  return false;
+}
+
+/// Strict non-negative decimal parse for Content-Length; rejects signs,
+/// whitespace, junk, and overflow past `max`.
+bool ParseContentLength(const std::string& value, size_t max, size_t* out) {
+  if (value.empty()) return false;
+  size_t n = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (n > max / 10 || n * 10 > max - digit) {
+      // Saturate instead of failing: the caller distinguishes "too big"
+      // (413) from "malformed" (400).
+      *out = max + 1;
+      return true;
+    }
+    n = n * 10 + digit;
+  }
+  *out = n;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::State HttpParser::Fail(int http_status, std::string message) {
+  error_ = Status::InvalidArgument(std::move(message));
+  error_status_code_ = http_status;
+  buffer_.clear();
+  return State::kError;
+}
+
+HttpParser::State HttpParser::Next() {
+  if (error_status_code_ != 0) return State::kError;
+
+  // Request line.
+  const size_t line_end = buffer_.find("\r\n");
+  if (line_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_request_line) {
+      return Fail(431, StrFormat("request line exceeds %zu bytes",
+                                 limits_.max_request_line));
+    }
+    return State::kNeedMore;
+  }
+  if (line_end + 2 > limits_.max_request_line) {
+    return Fail(431, StrFormat("request line exceeds %zu bytes",
+                               limits_.max_request_line));
+  }
+  const std::string line = buffer_.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    return Fail(400, "malformed request line: " + line);
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    return Fail(505, "unsupported version: " + req.version);
+  }
+
+  // Header block, up to the blank line.
+  size_t pos = line_end + 2;
+  size_t header_bytes = 0;
+  while (true) {
+    const size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      if (buffer_.size() - pos > limits_.max_header_bytes) {
+        return Fail(431, StrFormat("headers exceed %zu bytes",
+                                   limits_.max_header_bytes));
+      }
+      return State::kNeedMore;
+    }
+    if (eol == pos) {  // blank line: end of headers
+      pos += 2;
+      break;
+    }
+    const std::string header_line = buffer_.substr(pos, eol - pos);
+    header_bytes += header_line.size() + 2;
+    if (header_bytes > limits_.max_header_bytes) {
+      return Fail(431, StrFormat("headers exceed %zu bytes",
+                                 limits_.max_header_bytes));
+    }
+    if (req.headers.size() >= limits_.max_headers) {
+      return Fail(431,
+                  StrFormat("more than %zu headers", limits_.max_headers));
+    }
+    if (header_line[0] == ' ' || header_line[0] == '\t') {
+      return Fail(400, "obsolete header line folding is not supported");
+    }
+    const size_t colon = header_line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Fail(400, "malformed header line: " + header_line);
+    }
+    const std::string name = header_line.substr(0, colon);
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Fail(400, "whitespace in header name: " + name);
+    }
+    req.headers.emplace_back(ToLower(name),
+                             Trim(header_line.substr(colon + 1)));
+    pos = eol + 2;
+  }
+
+  // Body framing: identity + Content-Length only.
+  if (req.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "transfer-encoding is not supported");
+  }
+  size_t content_length = 0;
+  if (const std::string* cl = req.FindHeader("content-length")) {
+    if (!ParseContentLength(*cl, limits_.max_body_bytes, &content_length)) {
+      return Fail(400, "malformed content-length: " + *cl);
+    }
+    if (content_length > limits_.max_body_bytes) {
+      return Fail(413, StrFormat("body exceeds %zu bytes",
+                                 limits_.max_body_bytes));
+    }
+  }
+  if (buffer_.size() - pos < content_length) return State::kNeedMore;
+  req.body = buffer_.substr(pos, content_length);
+  pos += content_length;
+
+  // Keep-alive: HTTP/1.1 defaults on, 1.0 defaults off; the Connection
+  // header overrides either way.
+  req.keep_alive = req.version == "HTTP/1.1";
+  if (const std::string* conn = req.FindHeader("connection")) {
+    if (HasToken(*conn, "close")) req.keep_alive = false;
+    if (HasToken(*conn, "keep-alive")) req.keep_alive = true;
+  }
+
+  // Consume exactly this request; pipelined followers stay buffered.
+  buffer_.erase(0, pos);
+  request_ = std::move(req);
+  return State::kReady;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                              HttpStatusReason(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  if (!response.keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace graphrare

@@ -1,0 +1,115 @@
+// Copyright 2026 The GraphRARE Authors.
+//
+// Minimal HTTP/1.1 request parser and response writer for the serving
+// front-end. Scope is deliberately narrow: identity-encoded bodies with an
+// explicit Content-Length (chunked transfer coding is rejected), bounded
+// request-line / header / body sizes, and incremental parsing so a
+// connection can be fed bytes as they arrive off the socket — including
+// several pipelined requests in one buffer, or a slow client trickling one
+// header per read.
+//
+// The parser is transport-agnostic (it only ever sees a byte buffer), so
+// the whole negative-path surface — truncation, oversized inputs,
+// malformed framing — is unit-testable without a socket.
+
+#ifndef GRAPHRARE_NET_HTTP_H_
+#define GRAPHRARE_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphrare {
+namespace net {
+
+/// Size bounds the parser enforces. A request that exceeds any bound is a
+/// hard parse error (the connection should be answered and closed), never
+/// an unbounded allocation.
+struct HttpLimits {
+  size_t max_request_line = 4096;   ///< method + target + version + CRLF
+  size_t max_header_bytes = 16384;  ///< all header lines combined
+  size_t max_headers = 64;          ///< header count
+  size_t max_body_bytes = 1 << 20;  ///< Content-Length ceiling (1 MiB)
+};
+
+/// One parsed request. Header names are lowercased; values are trimmed of
+/// surrounding whitespace.
+struct HttpRequest {
+  std::string method;   ///< as sent (e.g. "GET", "POST")
+  std::string target;   ///< origin-form target, e.g. "/v1/predict"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  ///< resolved from version + Connection header
+
+  /// First header with this (lowercase) name, or nullptr.
+  const std::string* FindHeader(const std::string& lowercase_name) const;
+};
+
+/// Incremental request parser. Feed() appends raw bytes; Next() extracts
+/// the first complete request from the front of the buffer, leaving any
+/// pipelined followers buffered for the next call. Errors are sticky: once
+/// a connection sends malformed framing there is no way to resynchronise,
+/// so the owner should write error_response() and close.
+class HttpParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< no complete request buffered yet
+    kReady,     ///< request() holds a complete request
+    kError,     ///< framing violation; see error() / error_status_code()
+  };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends bytes received from the transport.
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+  void Feed(const std::string& data) { Feed(data.data(), data.size()); }
+
+  /// Tries to parse one complete request from the buffered bytes.
+  State Next();
+
+  /// The request parsed by the last Next() == kReady. Valid until the next
+  /// Next() call; callers typically std::move parts out of it.
+  HttpRequest& request() { return request_; }
+
+  /// Why parsing failed (kError only).
+  const Status& error() const { return error_; }
+  /// The HTTP status code the error response should carry (400, 413, 431,
+  /// 501, 505).
+  int error_status_code() const { return error_status_code_; }
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  State Fail(int http_status, std::string message);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  Status error_;
+  int error_status_code_ = 0;
+};
+
+/// One response. Serialize() renders the status line, Content-Type,
+/// Content-Length, and (when keep_alive is false) "Connection: close".
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// Canonical reason phrase for the status codes this server emits
+/// ("Unknown" otherwise).
+const char* HttpStatusReason(int status);
+
+/// Renders the full wire form of a response.
+std::string SerializeResponse(const HttpResponse& response);
+
+}  // namespace net
+}  // namespace graphrare
+
+#endif  // GRAPHRARE_NET_HTTP_H_

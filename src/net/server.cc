@@ -1,0 +1,789 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "net/json.h"
+#include "serve/artifact.h"
+
+namespace graphrare {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+std::string ErrorBody(const std::string& message) {
+  return StrFormat("{\"error\":\"%s\"}", JsonEscape(message).c_str());
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message,
+                           bool keep_alive = true) {
+  HttpResponse r;
+  r.status = status;
+  r.body = ErrorBody(message);
+  r.keep_alive = keep_alive;
+  return r;
+}
+
+/// The request target without its query string.
+std::string TargetPath(const std::string& target) {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+}  // namespace
+
+std::string PredictionsToJson(const std::vector<serve::Prediction>& preds) {
+  std::string out = "{\"predictions\":[";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const serve::Prediction& p = preds[i];
+    if (i) out += ",";
+    out += StrFormat("{\"node\":%lld,\"class\":%lld,\"probabilities\":[",
+                     static_cast<long long>(p.node),
+                     static_cast<long long>(p.predicted_class));
+    for (size_t c = 0; c < p.probabilities.size(); ++c) {
+      if (c) out += ",";
+      out += StrFormat("%.9g", static_cast<double>(p.probabilities[c]));
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TopKToJson(int64_t node,
+                       const std::vector<std::pair<int64_t, float>>& topk) {
+  std::string out =
+      StrFormat("{\"node\":%lld,\"topk\":[", static_cast<long long>(node));
+  for (size_t i = 0; i < topk.size(); ++i) {
+    if (i) out += ",";
+    out += StrFormat("{\"class\":%lld,\"probability\":%.9g}",
+                     static_cast<long long>(topk[i].first),
+                     static_cast<double>(topk[i].second));
+  }
+  out += "]}";
+  return out;
+}
+
+Status HttpServerOptions::Validate() const {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  if (max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (idle_timeout_ms < 0) {
+    return Status::InvalidArgument("idle_timeout_ms must be >= 0");
+  }
+  if (tick_ms < 1) {
+    return Status::InvalidArgument("tick_ms must be >= 1");
+  }
+  if (slo_ms <= 0.0) {
+    return Status::InvalidArgument("slo_ms must be > 0");
+  }
+  return batcher.Validate();
+}
+
+enum HttpServer::Route : int {
+  kRoutePredict = 0,
+  kRouteTopk,
+  kRouteReload,
+  kRouteHealthz,
+  kRouteMetrics,
+  kRouteOther,
+  kNumRoutes,
+};
+
+struct HttpServer::RouteMetrics {
+  const char* name = "";
+  std::atomic<int64_t> requests{0};
+  std::atomic<int64_t> errors{0};
+  std::atomic<int64_t> slo_violations{0};
+  LatencyRecorder latency_ms;
+};
+
+struct HttpServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  HttpParser parser;
+  Stopwatch last_activity;
+
+  // Pipelined-response ordering: each parsed request takes the next slot;
+  // serialized responses wait in `ready` until all predecessors shipped.
+  uint64_t next_dispatch_slot = 0;
+  uint64_t next_send_slot = 0;
+  std::map<uint64_t, std::string> ready;
+
+  std::string outbuf;
+  size_t outpos = 0;
+  int inflight = 0;  ///< requests at the batcher / reload thread
+  bool stopped_reading = false;
+  bool close_after_flush = false;
+  uint32_t event_mask = 0;
+
+  explicit Connection(HttpLimits limits) : parser(limits) {}
+
+  bool HasPendingOutput() const { return outpos < outbuf.size(); }
+  bool FullyIdle() const {
+    return inflight == 0 && !HasPendingOutput() && ready.empty();
+  }
+};
+
+HttpServer::HttpServer(std::shared_ptr<serve::EngineHandle> engine,
+                       std::shared_ptr<ContinuousBatcher> batcher,
+                       HttpServerOptions options)
+    : engine_(std::move(engine)),
+      batcher_(std::move(batcher)),
+      owns_batcher_(batcher_ == nullptr),
+      options_(std::move(options)) {
+  GR_CHECK(engine_ != nullptr) << "HttpServer needs an engine handle";
+  GR_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
+  if (batcher_ == nullptr) {
+    batcher_ =
+        std::make_shared<ContinuousBatcher>(engine_, options_.batcher);
+  }
+  routes_.reset(new RouteMetrics[kNumRoutes]);
+  routes_[kRoutePredict].name = "/v1/predict";
+  routes_[kRouteTopk].name = "/v1/topk";
+  routes_[kRouteReload].name = "/v1/reload";
+  routes_[kRouteHealthz].name = "/healthz";
+  routes_[kRouteMetrics].name = "/metrics";
+  routes_[kRouteOther].name = "other";
+}
+
+HttpServer::~HttpServer() {
+  Shutdown();
+  if (reload_thread_.joinable()) reload_thread_.join();
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (owns_batcher_) batcher_->Stop();
+}
+
+Status HttpServer::Start() {
+  GR_RETURN_IF_ERROR(loop_.Ok());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  GR_RETURN_IF_ERROR(
+      loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); }));
+  started_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Run() {
+  GR_CHECK(started_) << "HttpServer::Run before a successful Start";
+  // Phase 1: serve until Shutdown() stops the loop.
+  loop_.Run(options_.tick_ms, [this] { OnTick(); });
+
+  // Phase 2: drain. Stop accepting, finish every admitted request, flush
+  // every response, then return. Idle keep-alive connections are closed
+  // immediately; busy ones as they complete.
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!Drained()) {
+    loop_.ResetStop();
+    loop_.Run(options_.tick_ms, [this] {
+      OnTick();
+      if (Drained()) loop_.Stop();
+    });
+  }
+  // Close whatever survives (idle keep-alive connections).
+  while (!conns_.empty()) CloseConnection(conns_.begin()->second.get());
+  if (owns_batcher_) batcher_->Stop();
+}
+
+void HttpServer::Shutdown() { loop_.Stop(); }
+
+bool HttpServer::Drained() const {
+  if (inflight_ != 0 || reload_in_progress_) return false;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->FullyIdle()) return false;
+  }
+  return true;
+}
+
+void HttpServer::OnTick() {
+  if (draining_) {
+    // Shed idle connections so the drain converges.
+    std::vector<Connection*> idle;
+    for (auto& [id, conn] : conns_) {
+      if (conn->FullyIdle()) idle.push_back(conn.get());
+    }
+    for (Connection* conn : idle) CloseConnection(conn);
+    return;
+  }
+  if (options_.idle_timeout_ms <= 0) return;
+  std::vector<Connection*> expired;
+  for (auto& [id, conn] : conns_) {
+    if (conn->inflight == 0 && !conn->HasPendingOutput() &&
+        conn->last_activity.ElapsedMillis() > options_.idle_timeout_ms) {
+      expired.push_back(conn.get());
+    }
+  }
+  for (Connection* conn : expired) CloseConnection(conn);
+}
+
+void HttpServer::AcceptReady() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error; epoll retries
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      connections_rejected_.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>(options_.limits);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->event_mask = EPOLLIN;
+    Connection* raw = conn.get();
+    conns_.emplace(raw->id, std::move(conn));
+    connections_total_.fetch_add(1);
+    const uint64_t id = raw->id;
+    if (!loop_.Add(fd, EPOLLIN, [this, id](uint32_t events) {
+          ConnectionReady(id, events);
+        }).ok()) {
+      CloseConnection(raw);
+    }
+  }
+}
+
+void HttpServer::ConnectionReady(uint64_t conn_id, uint32_t events) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConnection(conn);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushOutput(conn);
+    if (conns_.find(conn_id) == conns_.end()) return;  // closed by flush
+  }
+  if (events & EPOLLIN) ReadInput(conn);
+}
+
+void HttpServer::ReadInput(Connection* conn) {
+  char buf[4096];
+  while (!conn->stopped_reading) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->last_activity.Restart();
+      conn->parser.Feed(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending. Deliver what is still in flight, then
+      // close once flushed.
+      conn->stopped_reading = true;
+      conn->close_after_flush = true;
+      if (conn->FullyIdle() && conn->parser.buffered_bytes() == 0) {
+        CloseConnection(conn);
+        return;
+      }
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  ParseBuffered(conn);
+}
+
+void HttpServer::ParseBuffered(Connection* conn) {
+  const uint64_t id = conn->id;
+  while (!conn->stopped_reading) {
+    const HttpParser::State state = conn->parser.Next();
+    if (state == HttpParser::State::kNeedMore) break;
+    if (state == HttpParser::State::kError) {
+      // Framing is unrecoverable: answer (in pipeline order) and close.
+      conn->stopped_reading = true;
+      const uint64_t slot = conn->next_dispatch_slot++;
+      const Stopwatch watch;
+      FinishRequest(conn, slot, kRouteOther, watch.ElapsedMillis(),
+                    ErrorResponse(conn->parser.error_status_code(),
+                                  conn->parser.error().message(),
+                                  /*keep_alive=*/false));
+      break;
+    }
+    HandleRequest(conn, std::move(conn->parser.request()));
+    if (conns_.find(id) == conns_.end()) return;  // closed
+  }
+  // FinishRequest can close the connection inline (error response fully
+  // flushed with nothing in flight) — conn is gone then.
+  if (conns_.find(id) == conns_.end()) return;
+  UpdateEventMask(conn);
+}
+
+void HttpServer::HandleRequest(Connection* conn, HttpRequest request) {
+  const uint64_t slot = conn->next_dispatch_slot++;
+  const bool keep_alive = request.keep_alive;
+  if (!keep_alive) conn->stopped_reading = true;
+  const std::string path = TargetPath(request.target);
+  const Stopwatch watch;
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      FinishRequest(conn, slot, kRouteHealthz, watch.ElapsedMillis(),
+                    ErrorResponse(405, "use GET", keep_alive));
+      return;
+    }
+    const auto engine = engine_->Get();
+    HttpResponse r;
+    r.keep_alive = keep_alive;
+    r.body = StrFormat(
+        "{\"status\":\"ok\",\"generation\":%lld,\"nodes\":%lld,"
+        "\"classes\":%lld,\"mode\":\"%s\"}",
+        static_cast<long long>(engine_->generation()),
+        static_cast<long long>(engine->num_nodes()),
+        static_cast<long long>(engine->num_classes()),
+        engine->full_graph_mode() ? "full" : "sampled");
+    FinishRequest(conn, slot, kRouteHealthz, watch.ElapsedMillis(),
+                  std::move(r));
+    return;
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      FinishRequest(conn, slot, kRouteMetrics, watch.ElapsedMillis(),
+                    ErrorResponse(405, "use GET", keep_alive));
+      return;
+    }
+    HttpResponse r;
+    r.keep_alive = keep_alive;
+    r.content_type = "text/plain; version=0.0.4";
+    r.body = MetricsText();
+    FinishRequest(conn, slot, kRouteMetrics, watch.ElapsedMillis(),
+                  std::move(r));
+    return;
+  }
+  if (path == "/v1/predict" || path == "/v1/topk" || path == "/v1/reload") {
+    if (request.method != "POST") {
+      const Route route = path == "/v1/predict" ? kRoutePredict
+                          : path == "/v1/topk"  ? kRouteTopk
+                                                : kRouteReload;
+      FinishRequest(conn, slot, route, watch.ElapsedMillis(),
+                    ErrorResponse(405, "use POST", keep_alive));
+      return;
+    }
+    if (path == "/v1/predict") {
+      HandlePredict(conn, slot, keep_alive, request.body);
+    } else if (path == "/v1/topk") {
+      HandleTopK(conn, slot, keep_alive, request.body);
+    } else {
+      HandleReload(conn, slot, keep_alive, request.body);
+    }
+    return;
+  }
+  FinishRequest(conn, slot, kRouteOther, watch.ElapsedMillis(),
+                ErrorResponse(404, "no such route: " + path, keep_alive));
+}
+
+void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
+                               bool keep_alive, const std::string& body) {
+  const Stopwatch watch;
+  auto doc_or = JsonValue::Parse(body);
+  if (!doc_or.ok()) {
+    FinishRequest(conn, slot, kRoutePredict, watch.ElapsedMillis(),
+                  ErrorResponse(400, doc_or.status().message(), keep_alive));
+    return;
+  }
+  const JsonValue* nodes = doc_or->Find("nodes");
+  if (nodes == nullptr || !nodes->is_array() || nodes->items().empty()) {
+    FinishRequest(conn, slot, kRoutePredict, watch.ElapsedMillis(),
+                  ErrorResponse(400, "body must be {\"nodes\":[id,...]}",
+                                keep_alive));
+    return;
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(nodes->items().size());
+  for (const JsonValue& item : nodes->items()) {
+    auto id_or = item.AsInt64();
+    if (!id_or.ok()) {
+      FinishRequest(conn, slot, kRoutePredict, watch.ElapsedMillis(),
+                    ErrorResponse(400, "nodes must be integers", keep_alive));
+      return;
+    }
+    ids.push_back(*id_or);
+  }
+
+  const uint64_t conn_id = conn->id;
+  const Status admitted = batcher_->Submit(
+      std::move(ids),
+      [this, conn_id, slot, keep_alive,
+       watch](Result<std::vector<serve::Prediction>> result) {
+        // Worker thread: marshal onto the reactor.
+        loop_.Post([this, conn_id, slot, keep_alive, watch,
+                    result = std::move(result)]() mutable {
+          --inflight_;
+          HttpResponse r;
+          r.keep_alive = keep_alive;
+          if (result.ok()) {
+            r.body = PredictionsToJson(result.value());
+          } else {
+            r.status =
+                result.status().code() == StatusCode::kOutOfRange ? 400 : 500;
+            r.body = ErrorBody(result.status().message());
+          }
+          const auto it = conns_.find(conn_id);
+          if (it == conns_.end()) {
+            client_gone_.fetch_add(1);
+            RouteMetrics& m = routes_[kRoutePredict];
+            m.requests.fetch_add(1);
+            if (r.status >= 400) m.errors.fetch_add(1);
+            return;
+          }
+          Connection* c = it->second.get();
+          --c->inflight;
+          // FinishRequest's flush refreshes the event mask itself — and may
+          // close the connection, so c must not be touched afterwards.
+          FinishRequest(c, slot, kRoutePredict, watch.ElapsedMillis(),
+                        std::move(r));
+        });
+      });
+  if (!admitted.ok()) {
+    FinishRequest(conn, slot, kRoutePredict, watch.ElapsedMillis(),
+                  ErrorResponse(503, admitted.message(), keep_alive));
+    return;
+  }
+  ++inflight_;
+  ++conn->inflight;
+}
+
+void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
+                            const std::string& body) {
+  const Stopwatch watch;
+  auto doc_or = JsonValue::Parse(body);
+  Result<int64_t> node_or =
+      Status::InvalidArgument("body must be {\"node\":id,\"k\":K}");
+  int64_t k = 1;
+  if (doc_or.ok()) {
+    if (const JsonValue* node = doc_or->Find("node")) {
+      node_or = node->AsInt64();
+    }
+    if (const JsonValue* kv = doc_or->Find("k")) {
+      auto k_or = kv->AsInt64();
+      if (!k_or.ok() || *k_or < 1) {
+        node_or = Status::InvalidArgument("k must be a positive integer");
+      } else {
+        k = *k_or;
+      }
+    }
+  } else {
+    node_or = doc_or.status();
+  }
+  if (!node_or.ok()) {
+    FinishRequest(conn, slot, kRouteTopk, watch.ElapsedMillis(),
+                  ErrorResponse(400, node_or.status().message(), keep_alive));
+    return;
+  }
+  const int64_t node = *node_or;
+
+  const uint64_t conn_id = conn->id;
+  const Status admitted = batcher_->Submit(
+      {node},
+      [this, conn_id, slot, keep_alive, node, k,
+       watch](Result<std::vector<serve::Prediction>> result) {
+        loop_.Post([this, conn_id, slot, keep_alive, node, k, watch,
+                    result = std::move(result)]() mutable {
+          --inflight_;
+          HttpResponse r;
+          r.keep_alive = keep_alive;
+          if (result.ok()) {
+            r.body = TopKToJson(
+                node, serve::TopKOf(result.value()[0], static_cast<int>(k)));
+          } else {
+            r.status =
+                result.status().code() == StatusCode::kOutOfRange ? 400 : 500;
+            r.body = ErrorBody(result.status().message());
+          }
+          const auto it = conns_.find(conn_id);
+          if (it == conns_.end()) {
+            client_gone_.fetch_add(1);
+            RouteMetrics& m = routes_[kRouteTopk];
+            m.requests.fetch_add(1);
+            if (r.status >= 400) m.errors.fetch_add(1);
+            return;
+          }
+          Connection* c = it->second.get();
+          --c->inflight;
+          // May close the connection; c must not be touched afterwards.
+          FinishRequest(c, slot, kRouteTopk, watch.ElapsedMillis(),
+                        std::move(r));
+        });
+      });
+  if (!admitted.ok()) {
+    FinishRequest(conn, slot, kRouteTopk, watch.ElapsedMillis(),
+                  ErrorResponse(503, admitted.message(), keep_alive));
+    return;
+  }
+  ++inflight_;
+  ++conn->inflight;
+}
+
+void HttpServer::HandleReload(Connection* conn, uint64_t slot,
+                              bool keep_alive, const std::string& body) {
+  const Stopwatch watch;
+  auto doc_or = JsonValue::Parse(body);
+  const JsonValue* path_value = doc_or.ok() ? doc_or->Find("path") : nullptr;
+  if (path_value == nullptr || !path_value->is_string() ||
+      path_value->AsString().empty()) {
+    FinishRequest(conn, slot, kRouteReload, watch.ElapsedMillis(),
+                  ErrorResponse(400, "body must be {\"path\":\"...\"}",
+                                keep_alive));
+    return;
+  }
+  if (reload_in_progress_) {
+    FinishRequest(conn, slot, kRouteReload, watch.ElapsedMillis(),
+                  ErrorResponse(409, "a reload is already in progress",
+                                keep_alive));
+    return;
+  }
+  if (reload_thread_.joinable()) reload_thread_.join();
+  reload_in_progress_ = true;
+  ++inflight_;
+  ++conn->inflight;
+
+  const std::string path = path_value->AsString();
+  const serve::EngineOptions engine_options = engine_->Get()->options();
+  const uint64_t conn_id = conn->id;
+  // The artifact load + engine build (the expensive part: a full forward
+  // pass in full-graph mode) runs beside the serving engine; the reactor
+  // and the batch workers keep answering on v1 throughout.
+  reload_thread_ = std::thread([this, path, engine_options, conn_id, slot,
+                                keep_alive, watch] {
+    auto swap_in = [&]() -> Result<int64_t> {
+      GR_ASSIGN_OR_RETURN(serve::ModelArtifact artifact,
+                          serve::ModelArtifact::Load(path));
+      GR_ASSIGN_OR_RETURN(serve::InferenceEngine engine,
+                          serve::InferenceEngine::FromArtifact(
+                              std::move(artifact), engine_options));
+      engine_->Swap(std::make_shared<const serve::InferenceEngine>(
+          std::move(engine)));
+      return engine_->generation();
+    };
+    auto generation_or = swap_in();
+    loop_.Post([this, path, conn_id, slot, keep_alive, watch,
+                generation_or = std::move(generation_or)] {
+      reload_in_progress_ = false;
+      --inflight_;
+      if (generation_or.ok()) reloads_total_.fetch_add(1);
+      HttpResponse r;
+      r.keep_alive = keep_alive;
+      if (generation_or.ok()) {
+        r.body = StrFormat(
+            "{\"status\":\"ok\",\"generation\":%lld,\"path\":\"%s\"}",
+            static_cast<long long>(generation_or.value()),
+            JsonEscape(path).c_str());
+      } else {
+        r.status = 500;
+        r.body = ErrorBody(generation_or.status().ToString());
+      }
+      const auto it = conns_.find(conn_id);
+      if (it == conns_.end()) {
+        client_gone_.fetch_add(1);
+        routes_[kRouteReload].requests.fetch_add(1);
+        return;
+      }
+      Connection* c = it->second.get();
+      --c->inflight;
+      // May close the connection; c must not be touched afterwards.
+      FinishRequest(c, slot, kRouteReload, watch.ElapsedMillis(),
+                    std::move(r));
+    });
+  });
+}
+
+void HttpServer::FinishRequest(Connection* conn, uint64_t slot, Route route,
+                               double elapsed_ms, HttpResponse response) {
+  RouteMetrics& m = routes_[route];
+  m.requests.fetch_add(1);
+  if (response.status >= 400) m.errors.fetch_add(1);
+  if (elapsed_ms > options_.slo_ms) m.slo_violations.fetch_add(1);
+  m.latency_ms.Record(elapsed_ms);
+  const bool close_after = !response.keep_alive;
+  DeliverSerialized(conn, slot, SerializeResponse(response), close_after);
+}
+
+void HttpServer::DeliverSerialized(Connection* conn, uint64_t slot,
+                                   std::string bytes, bool close_after) {
+  if (close_after) conn->close_after_flush = true;
+  conn->ready.emplace(slot, std::move(bytes));
+  while (true) {
+    const auto it = conn->ready.find(conn->next_send_slot);
+    if (it == conn->ready.end()) break;
+    conn->outbuf.append(it->second);
+    conn->ready.erase(it);
+    ++conn->next_send_slot;
+  }
+  conn->last_activity.Restart();
+  FlushOutput(conn);
+}
+
+void HttpServer::FlushOutput(Connection* conn) {
+  while (conn->HasPendingOutput()) {
+    const ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->outpos,
+                              conn->outbuf.size() - conn->outpos);
+    if (n > 0) {
+      conn->outpos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // peer reset mid-response
+    return;
+  }
+  if (!conn->HasPendingOutput()) {
+    conn->outbuf.clear();
+    conn->outpos = 0;
+    if (conn->close_after_flush && conn->inflight == 0 &&
+        conn->ready.empty()) {
+      CloseConnection(conn);
+      return;
+    }
+  }
+  UpdateEventMask(conn);
+}
+
+void HttpServer::UpdateEventMask(Connection* conn) {
+  uint32_t mask = 0;
+  if (!conn->stopped_reading) mask |= EPOLLIN;
+  if (conn->HasPendingOutput()) mask |= EPOLLOUT;
+  if (mask != conn->event_mask) {
+    conn->event_mask = mask;
+    loop_.Modify(conn->fd, mask);
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  loop_.Remove(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  // In-flight completions look the connection up by id and find nothing;
+  // the global inflight_ count still reaches zero through their Posts.
+  conns_.erase(conn->id);
+}
+
+std::vector<RouteStats> HttpServer::AllRouteStats() const {
+  std::vector<RouteStats> out;
+  out.reserve(kNumRoutes);
+  for (int r = 0; r < kNumRoutes; ++r) {
+    RouteStats s;
+    s.route = routes_[r].name;
+    s.requests = routes_[r].requests.load();
+    s.errors = routes_[r].errors.load();
+    s.slo_violations = routes_[r].slo_violations.load();
+    s.latency_ms = routes_[r].latency_ms.Summary();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string HttpServer::MetricsText() const {
+  std::string out;
+  out += StrFormat("graphrare_engine_generation %lld\n",
+                   static_cast<long long>(engine_->generation()));
+  out += StrFormat("graphrare_engine_reloads_total %lld\n",
+                   static_cast<long long>(reloads_total_.load()));
+  out += StrFormat("graphrare_connections_total %lld\n",
+                   static_cast<long long>(connections_total_.load()));
+  out += StrFormat("graphrare_connections_rejected_total %lld\n",
+                   static_cast<long long>(connections_rejected_.load()));
+  out += StrFormat("graphrare_responses_client_gone_total %lld\n",
+                   static_cast<long long>(client_gone_.load()));
+
+  const BatcherStats b = batcher_->Stats();
+  out += StrFormat("graphrare_batch_requests_submitted_total %lld\n",
+                   static_cast<long long>(b.submitted));
+  out += StrFormat("graphrare_batch_requests_rejected_total %lld\n",
+                   static_cast<long long>(b.rejected));
+  out += StrFormat("graphrare_batches_total %lld\n",
+                   static_cast<long long>(b.batches));
+  out += StrFormat("graphrare_batch_requests_total %lld\n",
+                   static_cast<long long>(b.batched_requests));
+  out += StrFormat("graphrare_batch_max_size %lld\n",
+                   static_cast<long long>(b.max_batch_seen));
+  out += StrFormat("graphrare_batch_queue_depth %lld\n",
+                   static_cast<long long>(b.queue_depth));
+  out += StrFormat(
+      "graphrare_batch_queue_delay_ms{quantile=\"0.5\"} %.6g\n",
+      b.queue_delay_ms.p50);
+  out += StrFormat(
+      "graphrare_batch_queue_delay_ms{quantile=\"0.99\"} %.6g\n",
+      b.queue_delay_ms.p99);
+
+  for (const RouteStats& s : AllRouteStats()) {
+    const char* route = s.route.c_str();
+    out += StrFormat("graphrare_requests_total{route=\"%s\"} %lld\n", route,
+                     static_cast<long long>(s.requests));
+    out += StrFormat("graphrare_request_errors_total{route=\"%s\"} %lld\n",
+                     route, static_cast<long long>(s.errors));
+    out += StrFormat(
+        "graphrare_slo_violations_total{route=\"%s\",slo_ms=\"%.6g\"} %lld\n",
+        route, options_.slo_ms, static_cast<long long>(s.slo_violations));
+    if (s.latency_ms.count > 0) {
+      out += StrFormat(
+          "graphrare_request_latency_ms{route=\"%s\",quantile=\"0.5\"} %.6g\n",
+          route, s.latency_ms.p50);
+      out += StrFormat(
+          "graphrare_request_latency_ms{route=\"%s\",quantile=\"0.95\"} "
+          "%.6g\n",
+          route, s.latency_ms.p95);
+      out += StrFormat(
+          "graphrare_request_latency_ms{route=\"%s\",quantile=\"0.99\"} "
+          "%.6g\n",
+          route, s.latency_ms.p99);
+    }
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace graphrare

@@ -146,15 +146,29 @@ Result<std::vector<Prediction>> InferenceEngine::Predict(
 
 Result<std::vector<std::vector<Prediction>>> InferenceEngine::PredictBatch(
     const std::vector<std::vector<int64_t>>& requests) const {
+  std::vector<uint64_t> seeds(requests.size());
+  for (size_t r = 0; r < seeds.size(); ++r) seeds[r] = static_cast<uint64_t>(r);
+  return PredictBatchWithSeeds(requests, seeds);
+}
+
+Result<std::vector<std::vector<Prediction>>>
+InferenceEngine::PredictBatchWithSeeds(
+    const std::vector<std::vector<int64_t>>& requests,
+    const std::vector<uint64_t>& seeds) const {
+  if (seeds.size() != requests.size()) {
+    return Status::InvalidArgument(
+        StrFormat("PredictBatchWithSeeds: %zu requests but %zu seeds",
+                  requests.size(), seeds.size()));
+  }
   const int64_t n = static_cast<int64_t>(requests.size());
   std::vector<std::vector<Prediction>> out(requests.size());
   std::vector<Status> statuses(requests.size());
-  // Requests are seeded by their index, so any schedule produces the same
-  // batch; dynamic chunking absorbs mixed query sizes.
+  // Requests are seeded by their caller-visible index, so any schedule
+  // produces the same batch; dynamic chunking absorbs mixed query sizes.
   ParallelForDynamic(n, 1, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       auto result = PredictWithSeed(requests[static_cast<size_t>(r)],
-                                    static_cast<uint64_t>(r));
+                                    seeds[static_cast<size_t>(r)]);
       if (result.ok()) {
         out[static_cast<size_t>(r)] = std::move(result).value();
       } else {

@@ -24,6 +24,7 @@
 #define GRAPHRARE_SERVE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -90,6 +91,17 @@ class InferenceEngine {
   Result<std::vector<std::vector<Prediction>>> PredictBatch(
       const std::vector<std::vector<int64_t>>& requests) const;
 
+  /// PredictBatch with caller-supplied per-request sampling seeds (one per
+  /// request). Request i is evaluated exactly as it would be at position
+  /// seeds[i] of a plain PredictBatch call, so a scheduler that stamps each
+  /// request with its arrival index gets answers that do not depend on how
+  /// requests were grouped into engine calls — the continuous-batching
+  /// tier's determinism contract. Seeds only matter in sampled mode;
+  /// full-graph answers ignore them.
+  Result<std::vector<std::vector<Prediction>>> PredictBatchWithSeeds(
+      const std::vector<std::vector<int64_t>>& requests,
+      const std::vector<uint64_t>& seeds) const;
+
   /// Top-k (class, probability) pairs for one node, descending
   /// probability (ties broken by class id). k is clamped to num_classes.
   Result<std::vector<std::pair<int64_t, float>>> TopK(int64_t node,
@@ -116,6 +128,46 @@ class InferenceEngine {
   EngineOptions options_;
   std::unique_ptr<nn::NodeClassifier> model_;
   tensor::Tensor full_logits_;  ///< empty in sampled mode
+};
+
+/// Thread-safe shared handle to the live engine — the hot-swap seam of the
+/// serving tier. Readers snapshot the current engine with Get() and run
+/// their whole batch against that snapshot; Swap() atomically publishes a
+/// replacement (artifact reload) while snapshots taken earlier keep the old
+/// engine alive until their batches finish. No request is ever dropped or
+/// answered by a half-installed engine.
+class EngineHandle {
+ public:
+  explicit EngineHandle(std::shared_ptr<const InferenceEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  /// Snapshot of the current engine (never null).
+  std::shared_ptr<const InferenceEngine> Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_;
+  }
+
+  /// Publishes `next` and returns the previous engine. The caller usually
+  /// drops the return value; in-flight batches holding snapshots keep the
+  /// old engine alive regardless.
+  std::shared_ptr<const InferenceEngine> Swap(
+      std::shared_ptr<const InferenceEngine> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine_.swap(next);
+    ++generation_;
+    return next;
+  }
+
+  /// 1 for the engine installed at construction, +1 per Swap.
+  int64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const InferenceEngine> engine_;
+  int64_t generation_ = 1;
 };
 
 }  // namespace serve
