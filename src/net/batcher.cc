@@ -71,7 +71,11 @@ void ContinuousBatcher::WorkerLoop() {
       // from the oldest queued request) for the batch to fill; take
       // whatever is there the moment it is full, stale, or stopping.
       if (options_.max_queue_delay_ms > 0.0) {
-        while (static_cast<int>(queue_.size()) < options_.max_batch &&
+        // wait_for releases the mutex: another worker may drain the queue
+        // entirely before this one re-checks, so the emptiness test must
+        // come before queue_.front().
+        while (!queue_.empty() &&
+               static_cast<int>(queue_.size()) < options_.max_batch &&
                !stopping_) {
           const double remaining_ms =
               options_.max_queue_delay_ms - queue_.front().queued.ElapsedMillis();

@@ -157,6 +157,14 @@ HttpParser::State HttpParser::Next() {
   }
   size_t content_length = 0;
   if (const std::string* cl = req.FindHeader("content-length")) {
+    // RFC 7230 §3.3.2: differing Content-Length values are a request
+    // smuggling/desync vector behind a proxy that picks the other one —
+    // reject unless every copy is byte-identical.
+    for (const auto& [name, value] : req.headers) {
+      if (name == "content-length" && value != *cl) {
+        return Fail(400, "conflicting content-length headers");
+      }
+    }
     if (!ParseContentLength(*cl, limits_.max_body_bytes, &content_length)) {
       return Fail(400, "malformed content-length: " + *cl);
     }

@@ -130,7 +130,8 @@ struct HttpServer::Connection {
   std::string outbuf;
   size_t outpos = 0;
   int inflight = 0;  ///< requests at the batcher / reload thread
-  bool stopped_reading = false;
+  bool stopped_reading = false;  ///< no further requests will be parsed
+  bool saw_eof = false;          ///< peer half-closed; no more bytes arrive
   bool close_after_flush = false;
   uint32_t event_mask = 0;
 
@@ -167,6 +168,13 @@ HttpServer::HttpServer(std::shared_ptr<serve::EngineHandle> engine,
 HttpServer::~HttpServer() {
   Shutdown();
   if (reload_thread_.joinable()) reload_thread_.join();
+  // An externally owned batcher keeps running after we are gone; revoke
+  // the liveness token so completions for requests this server submitted
+  // drop their responses instead of posting into a destroyed loop.
+  {
+    std::lock_guard<std::mutex> lock(liveness_->mu);
+    liveness_->alive = false;
+  }
   for (auto& [id, conn] : conns_) {
     if (conn->fd >= 0) ::close(conn->fd);
   }
@@ -254,6 +262,11 @@ void HttpServer::OnTick() {
     for (Connection* conn : idle) CloseConnection(conn);
     return;
   }
+  if (accept_paused_ && listen_fd_ >= 0) {
+    accept_paused_ =
+        !loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); })
+             .ok();
+  }
   if (options_.idle_timeout_ms <= 0) return;
   std::vector<Connection*> expired;
   for (auto& [id, conn] : conns_) {
@@ -269,7 +282,17 @@ void HttpServer::AcceptReady() {
   while (true) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or a transient error; epoll retries
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // backlog empty
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // A persistent failure (EMFILE/ENFILE fd exhaustion and kin): the
+      // level-triggered listen fd would report readable on every poll and
+      // busy-spin the reactor. Pause accepting; OnTick re-arms once the
+      // pressure may have eased (closed connections free fds).
+      loop_.Remove(listen_fd_);
+      accept_paused_ = true;
+      return;
+    }
     if (static_cast<int>(conns_.size()) >= options_.max_connections) {
       connections_rejected_.fetch_add(1);
       ::close(fd);
@@ -311,7 +334,7 @@ void HttpServer::ConnectionReady(uint64_t conn_id, uint32_t events) {
 
 void HttpServer::ReadInput(Connection* conn) {
   char buf[4096];
-  while (!conn->stopped_reading) {
+  while (!conn->stopped_reading && !conn->saw_eof) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       conn->last_activity.Restart();
@@ -320,14 +343,11 @@ void HttpServer::ReadInput(Connection* conn) {
       continue;
     }
     if (n == 0) {
-      // Peer finished sending. Deliver what is still in flight, then
-      // close once flushed.
-      conn->stopped_reading = true;
+      // Peer half-closed its sending side. Complete requests may still
+      // sit in the parser buffer — answer them, then close once every
+      // response is flushed. (ParseBuffered handles the close.)
+      conn->saw_eof = true;
       conn->close_after_flush = true;
-      if (conn->FullyIdle() && conn->parser.buffered_bytes() == 0) {
-        CloseConnection(conn);
-        return;
-      }
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -360,6 +380,12 @@ void HttpServer::ParseBuffered(Connection* conn) {
   // FinishRequest can close the connection inline (error response fully
   // flushed with nothing in flight) — conn is gone then.
   if (conns_.find(id) == conns_.end()) return;
+  if (conn->saw_eof && conn->FullyIdle()) {
+    // EOF with nothing in flight, queued, or buffered to write; a
+    // trailing partial request can never complete. Close now.
+    CloseConnection(conn);
+    return;
+  }
   UpdateEventMask(conn);
 }
 
@@ -455,11 +481,15 @@ void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
   }
 
   const uint64_t conn_id = conn->id;
+  const std::shared_ptr<Liveness> liveness = liveness_;
   const Status admitted = batcher_->Submit(
       std::move(ids),
-      [this, conn_id, slot, keep_alive,
+      [this, liveness, conn_id, slot, keep_alive,
        watch](Result<std::vector<serve::Prediction>> result) {
-        // Worker thread: marshal onto the reactor.
+        // Worker thread: marshal onto the reactor — unless the server has
+        // been destroyed under a longer-lived external batcher.
+        std::lock_guard<std::mutex> lock(liveness->mu);
+        if (!liveness->alive) return;
         loop_.Post([this, conn_id, slot, keep_alive, watch,
                     result = std::move(result)]() mutable {
           --inflight_;
@@ -527,10 +557,13 @@ void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
   const int64_t node = *node_or;
 
   const uint64_t conn_id = conn->id;
+  const std::shared_ptr<Liveness> liveness = liveness_;
   const Status admitted = batcher_->Submit(
       {node},
-      [this, conn_id, slot, keep_alive, node, k,
+      [this, liveness, conn_id, slot, keep_alive, node, k,
        watch](Result<std::vector<serve::Prediction>> result) {
+        std::lock_guard<std::mutex> lock(liveness->mu);
+        if (!liveness->alive) return;
         loop_.Post([this, conn_id, slot, keep_alive, node, k, watch,
                     result = std::move(result)]() mutable {
           --inflight_;
@@ -694,7 +727,9 @@ void HttpServer::FlushOutput(Connection* conn) {
 
 void HttpServer::UpdateEventMask(Connection* conn) {
   uint32_t mask = 0;
-  if (!conn->stopped_reading) mask |= EPOLLIN;
+  // After EOF the fd stays level-triggered readable forever; dropping
+  // EPOLLIN keeps the reactor from spinning while responses are pending.
+  if (!conn->stopped_reading && !conn->saw_eof) mask |= EPOLLIN;
   if (conn->HasPendingOutput()) mask |= EPOLLOUT;
   if (mask != conn->event_mask) {
     conn->event_mask = mask;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -147,16 +148,30 @@ class HttpServer {
   void OnTick();
   bool Drained() const;
 
+  /// Shared with batcher completion callbacks, which may outlive the
+  /// server when the batcher is externally owned. The destructor flips
+  /// `alive` under the mutex: a callback that observed alive == true has
+  /// finished its loop_.Post before destruction proceeds; later ones
+  /// drop the response instead of touching freed memory.
+  struct Liveness {
+    std::mutex mu;
+    bool alive = true;
+  };
+
   std::shared_ptr<serve::EngineHandle> engine_;
   std::shared_ptr<ContinuousBatcher> batcher_;
   const bool owns_batcher_;
   HttpServerOptions options_;
+  std::shared_ptr<Liveness> liveness_ = std::make_shared<Liveness>();
 
   EventLoop loop_;
   int listen_fd_ = -1;
   int port_ = 0;
   bool started_ = false;
   bool draining_ = false;
+  /// accept4 hit a persistent error (fd exhaustion); the listen fd is
+  /// deregistered until OnTick re-arms it.
+  bool accept_paused_ = false;
 
   uint64_t next_conn_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;

@@ -125,6 +125,9 @@ class TestClient {
     return true;
   }
 
+  /// Half-closes the sending side (FIN); the server can still respond.
+  void HalfClose() { ::shutdown(fd_, SHUT_WR); }
+
   /// True once the server closes the connection (read returns 0).
   bool WaitClosed() {
     char tmp[256];
@@ -379,6 +382,39 @@ TEST_F(HttpServerTest, SlowLorisConnectionIsSwept) {
   ClientResponse r;
   ASSERT_TRUE(healthy.ReadResponse(&r));
   EXPECT_EQ(r.status, 200);
+}
+
+TEST_F(HttpServerTest, HalfClosedClientStillGetsItsResponses) {
+  // A client that sends complete requests then shutdown(SHUT_WR) must get
+  // every answer before the server closes — EOF stops reading, not the
+  // parsing of what is already buffered.
+  StartServer();
+  TestClient client(port());
+  ASSERT_TRUE(client.ok());
+  std::string wire;
+  wire += "POST /v1/predict HTTP/1.1\r\nContent-Length: 15\r\n\r\n"
+          "{\"nodes\":[0,1]}";
+  wire += "GET /healthz HTTP/1.1\r\n\r\n";
+  client.Send(wire);
+  client.HalfClose();
+  ClientResponse r1, r2;
+  ASSERT_TRUE(client.ReadResponse(&r1));
+  EXPECT_EQ(r1.status, 200);
+  EXPECT_EQ(r1.body, ExpectedPredictBody({0, 1}));
+  ASSERT_TRUE(client.ReadResponse(&r2));
+  EXPECT_EQ(r2.status, 200);
+  EXPECT_TRUE(client.WaitClosed());
+}
+
+TEST_F(HttpServerTest, HalfCloseAfterPartialRequestClosesPromptly) {
+  StartServer();
+  TestClient client(port());
+  ASSERT_TRUE(client.ok());
+  client.Send("POST /v1/predict HTTP/1.1\r\nContent-Le");  // truncated
+  client.HalfClose();
+  // The trailing partial request can never complete; no response, and the
+  // connection closes without waiting for the idle sweep (10s default).
+  EXPECT_TRUE(client.WaitClosed());
 }
 
 TEST_F(HttpServerTest, ConnectionCloseIsHonored) {

@@ -5,6 +5,7 @@
 // direct PredictBatch call for any arrival/batch interleaving, queue-full
 // admission control, drain-on-Stop, and hot-swap at the batcher seam.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
@@ -182,6 +183,26 @@ TEST(HttpParserTest, MalformedFramingIs400) {
     ASSERT_EQ(parser.Next(), net::HttpParser::State::kError);
     EXPECT_EQ(parser.error_status_code(), 400);
   }
+}
+
+TEST(HttpParserTest, ConflictingContentLengthIs400) {
+  // RFC 7230 §3.3.2: differing Content-Length values are a smuggling
+  // vector — a proxy in front may frame the body by the other one.
+  net::HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n"
+      "helloX");
+  ASSERT_EQ(parser.Next(), net::HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(HttpParserTest, IdenticalDuplicateContentLengthParses) {
+  net::HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n"
+      "hello");
+  ASSERT_EQ(parser.Next(), net::HttpParser::State::kReady);
+  EXPECT_EQ(parser.request().body, "hello");
 }
 
 TEST(HttpParserTest, UnsupportedVersionIs505) {
@@ -431,6 +452,43 @@ TEST(BatcherTest, ResponsesBitwiseEqualDirectPredictBatch) {
     EXPECT_EQ(stats.completed, static_cast<int64_t>(requests.size()));
     EXPECT_LE(stats.max_batch_seen, options.max_batch);
   }
+}
+
+TEST(BatcherTest, PacedArrivalsWithRacingDelayWaitersComplete) {
+  // Regression: with several workers parked in the max_queue_delay wait,
+  // one worker taking the whole queue used to leave the others re-entering
+  // the fill-wait loop and reading queue_.front() of an empty deque.
+  // Paced single-request arrivals keep workers in that window constantly;
+  // under ASan the old code crashes here.
+  const auto handle = MakeHandle(7, {});
+  net::BatcherOptions options;
+  options.max_batch = 4;
+  options.max_queue_delay_ms = 3.0;
+  options.num_workers = 4;
+  net::ContinuousBatcher batcher(handle, options);
+
+  constexpr int kRequests = 64;
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = kRequests;
+  int failures = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const Status s = batcher.Submit(
+        {i % 8}, [&](Result<std::vector<serve::Prediction>> r) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!r.ok()) ++failures;
+          if (--remaining == 0) cv.notify_one();
+        });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  EXPECT_EQ(failures, 0);
+  batcher.Stop();
+  EXPECT_EQ(batcher.Stats().completed, kRequests);
 }
 
 TEST(BatcherTest, InvalidRequestFailsAloneNotItsBatchmates) {
