@@ -10,7 +10,18 @@
 //   graphrare_serve --artifact=model.grare [--queries=FILE] [--topk=3]
 //                   [--fanouts=10,10] [--batch] [--seed=1]
 //                   [--http=PORT] [--max-batch=16] [--max-delay-ms=2]
-//                   [--workers=1] [--slo-ms=50]
+//                   [--workers=1] [--slo-ms=50] [--deadline-ms=0]
+//                   [--batch-budget-ms=0] [--breaker-threshold=3]
+//                   [--breaker-cooldown-ms=5000]
+//
+// Robustness knobs (HTTP mode): --deadline-ms gives every /v1/predict and
+// /v1/topk request a default deadline (clients override per request with
+// X-Deadline-Ms); queued work that outlives its deadline is shed with
+// 503 + Retry-After. --batch-budget-ms arms the overload watchdog that
+// adaptively shrinks the batch cap when engine calls blow their budget.
+// --breaker-threshold/--breaker-cooldown-ms tune the reload circuit
+// breaker. The GRAPHRARE_FAILPOINTS environment variable injects faults
+// for chaos drills (see src/common/failpoint.h for the spec grammar).
 //
 // CLI mode (default): one query per line, each a whitespace-separated list
 // of node ids. Queries run one at a time through the batcher (the
@@ -42,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "core/graphrare.h"
@@ -126,6 +138,9 @@ int main(int argc, char** argv) {
   int http_port = -1;
   net::BatcherOptions batcher_opts;
   double slo_ms = 50.0;
+  double deadline_ms = 0.0;
+  int breaker_threshold = 3;
+  double breaker_cooldown_ms = 5000.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> const char* {
@@ -152,6 +167,14 @@ int main(int argc, char** argv) {
       batcher_opts.num_workers = std::atoi(v);
     } else if (const char* v = value("--slo-ms=")) {
       slo_ms = std::atof(v);
+    } else if (const char* v = value("--deadline-ms=")) {
+      deadline_ms = std::atof(v);
+    } else if (const char* v = value("--batch-budget-ms=")) {
+      batcher_opts.batch_budget_ms = std::atof(v);
+    } else if (const char* v = value("--breaker-threshold=")) {
+      breaker_threshold = std::atoi(v);
+    } else if (const char* v = value("--breaker-cooldown-ms=")) {
+      breaker_cooldown_ms = std::atof(v);
     } else if (arg == "--batch") {
       batch = true;
     } else {
@@ -164,12 +187,21 @@ int main(int argc, char** argv) {
                  "usage: graphrare_serve --artifact=model.grare "
                  "[--queries=FILE] [--topk=K] [--fanouts=10,10] [--batch] "
                  "[--http=PORT] [--max-batch=N] [--max-delay-ms=MS] "
-                 "[--workers=N] [--slo-ms=MS]\n");
+                 "[--workers=N] [--slo-ms=MS] [--deadline-ms=MS] "
+                 "[--batch-budget-ms=MS] [--breaker-threshold=N] "
+                 "[--breaker-cooldown-ms=MS]\n");
     return 2;
   }
   if (const Status s = batcher_opts.Validate(); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 2;
+  }
+
+  // Chaos drills: GRAPHRARE_FAILPOINTS=site=spec;... arms fault injection
+  // before any artifact or socket I/O happens.
+  if (const int n = failpoint::ConfigureFromEnv(); n > 0) {
+    std::printf("# fail points armed from GRAPHRARE_FAILPOINTS: %d site%s\n",
+                n, n == 1 ? "" : "s");
   }
 
   serve::EngineOptions opts;
@@ -211,6 +243,9 @@ int main(int argc, char** argv) {
     net::HttpServerOptions server_opts;
     server_opts.port = http_port;
     server_opts.slo_ms = slo_ms;
+    server_opts.default_deadline_ms = deadline_ms;
+    server_opts.reload_breaker_threshold = breaker_threshold;
+    server_opts.reload_breaker_cooldown_ms = breaker_cooldown_ms;
     server_opts.batcher = batcher_opts;
     net::HttpServer server(handle, batcher, server_opts);
     if (const Status s = server.Start(); !s.ok()) {

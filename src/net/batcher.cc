@@ -4,6 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
 namespace graphrare {
 namespace net {
 
@@ -20,6 +23,12 @@ Status BatcherOptions::Validate() const {
   if (num_workers < 1) {
     return Status::InvalidArgument("num_workers must be >= 1");
   }
+  if (batch_budget_ms < 0.0) {
+    return Status::InvalidArgument("batch_budget_ms must be >= 0");
+  }
+  if (overload_recover_batches < 1) {
+    return Status::InvalidArgument("overload_recover_batches must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -28,6 +37,7 @@ ContinuousBatcher::ContinuousBatcher(
     : engine_(std::move(engine)), options_(options) {
   GR_CHECK(engine_ != nullptr) << "ContinuousBatcher needs an engine handle";
   GR_CHECK(options_.Validate().ok()) << options_.Validate().ToString();
+  effective_max_batch_ = options_.max_batch;
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -38,7 +48,13 @@ ContinuousBatcher::~ContinuousBatcher() { Stop(); }
 
 Status ContinuousBatcher::Submit(std::vector<int64_t> node_ids,
                                  Callback done) {
+  return Submit(std::move(node_ids), 0.0, std::move(done));
+}
+
+Status ContinuousBatcher::Submit(std::vector<int64_t> node_ids,
+                                 double deadline_ms, Callback done) {
   GR_CHECK(done != nullptr) << "Submit needs a completion callback";
+  GR_CHECK(deadline_ms >= 0.0) << "deadline_ms must be >= 0";
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -52,6 +68,7 @@ Status ContinuousBatcher::Submit(std::vector<int64_t> node_ids,
     p.node_ids = std::move(node_ids);
     p.done = std::move(done);
     p.seq = next_seq_++;
+    p.deadline_ms = deadline_ms;
     queue_.push_back(std::move(p));
     ++submitted_;
   }
@@ -62,6 +79,8 @@ Status ContinuousBatcher::Submit(std::vector<int64_t> node_ids,
 void ContinuousBatcher::WorkerLoop() {
   while (true) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
+    bool exit_worker = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -75,7 +94,7 @@ void ContinuousBatcher::WorkerLoop() {
         // entirely before this one re-checks, so the emptiness test must
         // come before queue_.front().
         while (!queue_.empty() &&
-               static_cast<int>(queue_.size()) < options_.max_batch &&
+               static_cast<int>(queue_.size()) < effective_max_batch_ &&
                !stopping_) {
           const double remaining_ms =
               options_.max_queue_delay_ms - queue_.front().queued.ElapsedMillis();
@@ -83,26 +102,57 @@ void ContinuousBatcher::WorkerLoop() {
           cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
                                  remaining_ms));
         }
-        if (queue_.empty()) {
-          if (stopping_) return;
-          continue;  // another worker took everything while we waited
-        }
       }
 
-      const size_t take = std::min(queue_.size(),
-                                   static_cast<size_t>(options_.max_batch));
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        queue_delay_ms_.Record(queue_.front().queued.ElapsedMillis());
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      // Load shedding at batch-formation time: a request whose deadline
+      // passed while it queued gets DeadlineExceeded (delivered below,
+      // outside the lock) instead of engine time. Shedding never touches
+      // the seq numbers of survivors, so answered responses stay bitwise
+      // identical to the no-shedding run.
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline_ms > 0.0 &&
+            it->queued.ElapsedMillis() >= it->deadline_ms) {
+          expired.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
       }
-      ++batches_;
-      batched_requests_ += static_cast<int64_t>(take);
-      max_batch_seen_ = std::max(max_batch_seen_, static_cast<int64_t>(take));
+      shed_ += static_cast<int64_t>(expired.size());
+
+      if (queue_.empty()) {
+        exit_worker = stopping_;
+      } else {
+        const size_t take = std::min(
+            queue_.size(), static_cast<size_t>(effective_max_batch_));
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          queue_delay_ms_.Record(queue_.front().queued.ElapsedMillis());
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        ++batches_;
+        batched_requests_ += static_cast<int64_t>(take);
+        max_batch_seen_ =
+            std::max(max_batch_seen_, static_cast<int64_t>(take));
+      }
     }
     // More work may remain for the other workers.
     cv_.notify_one();
+
+    for (Pending& p : expired) {
+      p.done(Status::DeadlineExceeded(
+          StrFormat("deadline of %.1f ms expired after %.1f ms in queue",
+                    p.deadline_ms, p.queued.ElapsedMillis())));
+    }
+    if (batch.empty()) {
+      if (exit_worker) return;
+      continue;  // another worker took everything, or all of it expired
+    }
+
+    // Watchdog clock: injectable delay + engine call + callback fan-out.
+    Stopwatch batch_clock;
+    failpoint::InjectDelay("batcher.batch");
 
     // One engine snapshot per batch: a hot-swap never splits a batch
     // across versions, and old engines stay alive until their last batch
@@ -138,9 +188,26 @@ void ContinuousBatcher::WorkerLoop() {
         }
       }
     }
+    const double batch_ms = batch_clock.ElapsedMillis();
     {
       std::lock_guard<std::mutex> lock(mu_);
       completed_ += static_cast<int64_t>(batch.size());
+      if (options_.batch_budget_ms > 0.0) {
+        if (batch_ms > options_.batch_budget_ms) {
+          // Overload: halve the cap so the next batches fit the budget.
+          const int shrunk = std::max(1, effective_max_batch_ / 2);
+          if (shrunk < effective_max_batch_) {
+            effective_max_batch_ = shrunk;
+            ++overload_shrinks_;
+          }
+          in_budget_streak_ = 0;
+        } else if (effective_max_batch_ < options_.max_batch &&
+                   ++in_budget_streak_ >= options_.overload_recover_batches) {
+          // Pressure dropped: grow back one step at a time.
+          ++effective_max_batch_;
+          in_budget_streak_ = 0;
+        }
+      }
     }
   }
 }
@@ -169,6 +236,9 @@ BatcherStats ContinuousBatcher::Stats() const {
     s.batched_requests = batched_requests_;
     s.max_batch_seen = max_batch_seen_;
     s.queue_depth = static_cast<int64_t>(queue_.size());
+    s.shed = shed_;
+    s.overload_shrinks = overload_shrinks_;
+    s.effective_max_batch = effective_max_batch_;
   }
   s.queue_delay_ms = queue_delay_ms_.Summary();
   return s;

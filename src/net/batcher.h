@@ -50,6 +50,14 @@ struct BatcherOptions {
   /// Engine-call workers. Extra workers only help when the engine's own
   /// parallelism leaves cores idle (e.g. serial full-graph lookups).
   int num_workers = 1;
+  /// Overload watchdog: when one batch's wall-clock (engine call included)
+  /// exceeds this budget, the effective max batch halves (floor 1); after
+  /// `overload_recover_batches` consecutive in-budget batches it grows
+  /// back by one toward `max_batch`. 0 disables the watchdog.
+  double batch_budget_ms = 0.0;
+  /// Consecutive in-budget batches required before the effective max
+  /// batch recovers one step.
+  int overload_recover_batches = 4;
 
   Status Validate() const;
 };
@@ -63,6 +71,9 @@ struct BatcherStats {
   int64_t batched_requests = 0;  ///< sum of batch sizes
   int64_t max_batch_seen = 0;
   int64_t queue_depth = 0;     ///< currently queued (not yet in a batch)
+  int64_t shed = 0;            ///< requests expired in queue (DeadlineExceeded)
+  int64_t overload_shrinks = 0;  ///< watchdog halvings of the batch cap
+  int64_t effective_max_batch = 0;  ///< current adaptive batch cap
   LatencySummary queue_delay_ms;  ///< submit -> batch formation
 };
 
@@ -86,6 +97,14 @@ class ContinuousBatcher {
   /// exactly once, from a worker thread.
   Status Submit(std::vector<int64_t> node_ids, Callback done);
 
+  /// Same, with a deadline: a request still queued `deadline_ms` after
+  /// submission is shed at batch-formation time — its callback receives
+  /// Status::DeadlineExceeded and no engine time is spent on it. 0 means
+  /// no deadline. A request already inside a running batch completes
+  /// normally (batches are never aborted mid-engine-call).
+  Status Submit(std::vector<int64_t> node_ids, double deadline_ms,
+                Callback done);
+
   /// Stops admission, drains every queued request through the engine, and
   /// joins the workers. Idempotent.
   void Stop();
@@ -98,6 +117,7 @@ class ContinuousBatcher {
     std::vector<int64_t> node_ids;
     Callback done;
     uint64_t seq = 0;
+    double deadline_ms = 0.0;  ///< relative to `queued`; 0 = none
     Stopwatch queued;
   };
 
@@ -111,9 +131,13 @@ class ContinuousBatcher {
   std::deque<Pending> queue_;
   bool stopping_ = false;
   uint64_t next_seq_ = 0;
+  // Overload watchdog state (guarded by mu_).
+  int effective_max_batch_ = 1;
+  int in_budget_streak_ = 0;
   // Stats (guarded by mu_ except the recorder, which locks itself).
   int64_t submitted_ = 0, rejected_ = 0, completed_ = 0;
   int64_t batches_ = 0, batched_requests_ = 0, max_batch_seen_ = 0;
+  int64_t shed_ = 0, overload_shrinks_ = 0;
   LatencyRecorder queue_delay_ms_;
 
   std::vector<std::thread> workers_;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -17,6 +18,14 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+/// eventfd write with EINTR retry. Async-signal-safe (a plain write loop);
+/// EAGAIN just means the counter is already non-zero — the loop is awake.
+void WriteWakeFd(int fd) {
+  const uint64_t one = 1;
+  while (::write(fd, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
 }
 
 }  // namespace
@@ -77,20 +86,21 @@ void EventLoop::Post(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(post_mu_);
     posted_.push_back(std::move(fn));
   }
-  const uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n =
-      ::write(wake_fd_, &one, sizeof(one));  // EAGAIN just means "already woken"
+  WriteWakeFd(wake_fd_);
 }
 
 void EventLoop::Stop() {
   stop_.store(true);
-  const uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  WriteWakeFd(wake_fd_);
 }
 
 void EventLoop::DrainWakeFd() {
   uint64_t value = 0;
-  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  while (true) {
+    const ssize_t n = ::read(wake_fd_, &value, sizeof(value));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN: drained
   }
 }
 
@@ -98,7 +108,8 @@ void EventLoop::Run(int tick_ms, const std::function<void()>& on_tick) {
   constexpr int kMaxEvents = 64;
   struct epoll_event events[kMaxEvents];
   while (!stop_.load()) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, tick_ms);
+    const int n = failpoint::EpollWait("net.epoll_wait", epoll_fd_, events,
+                                       kMaxEvents, tick_ms);
     if (n < 0 && errno != EINTR) break;
 
     for (int i = 0; i < n; ++i) {

@@ -213,6 +213,9 @@ std::string SerializeResponse(const HttpResponse& response) {
                               HttpStatusReason(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
   out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  if (response.retry_after_s > 0) {
+    out += StrFormat("Retry-After: %d\r\n", response.retry_after_s);
+  }
   if (!response.keep_alive) out += "Connection: close\r\n";
   out += "\r\n";
   out += response.body;

@@ -94,12 +94,16 @@ class HttpParser {
 };
 
 /// One response. Serialize() renders the status line, Content-Type,
-/// Content-Length, and (when keep_alive is false) "Connection: close".
+/// Content-Length, optionally Retry-After, and (when keep_alive is false)
+/// "Connection: close".
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
   bool keep_alive = true;
+  /// Seconds for a "Retry-After" header (load-shed / circuit-open 503s);
+  /// 0 omits the header.
+  int retry_after_s = 0;
 };
 
 /// Canonical reason phrase for the status codes this server emits

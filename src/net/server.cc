@@ -7,10 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "net/json.h"
@@ -94,6 +97,18 @@ Status HttpServerOptions::Validate() const {
   if (slo_ms <= 0.0) {
     return Status::InvalidArgument("slo_ms must be > 0");
   }
+  if (default_deadline_ms < 0.0) {
+    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  }
+  if (max_deadline_ms <= 0.0) {
+    return Status::InvalidArgument("max_deadline_ms must be > 0");
+  }
+  if (reload_breaker_threshold < 0) {
+    return Status::InvalidArgument("reload_breaker_threshold must be >= 0");
+  }
+  if (reload_breaker_cooldown_ms < 0.0) {
+    return Status::InvalidArgument("reload_breaker_cooldown_ms must be >= 0");
+  }
   return batcher.Validate();
 }
 
@@ -112,6 +127,7 @@ struct HttpServer::RouteMetrics {
   std::atomic<int64_t> requests{0};
   std::atomic<int64_t> errors{0};
   std::atomic<int64_t> slo_violations{0};
+  std::atomic<int64_t> shed{0};  ///< 503s from deadlines/overload/breaker
   LatencyRecorder latency_ms;
 };
 
@@ -280,8 +296,8 @@ void HttpServer::OnTick() {
 
 void HttpServer::AcceptReady() {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = failpoint::Accept4("net.accept", listen_fd_, nullptr,
+                                      nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // backlog empty
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -335,7 +351,7 @@ void HttpServer::ConnectionReady(uint64_t conn_id, uint32_t events) {
 void HttpServer::ReadInput(Connection* conn) {
   char buf[4096];
   while (!conn->stopped_reading && !conn->saw_eof) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    const ssize_t n = failpoint::Read("net.read", conn->fd, buf, sizeof(buf));
     if (n > 0) {
       conn->last_activity.Restart();
       conn->parser.Feed(buf, static_cast<size_t>(n));
@@ -403,15 +419,22 @@ void HttpServer::HandleRequest(Connection* conn, HttpRequest request) {
       return;
     }
     const auto engine = engine_->Get();
+    const BreakerState breaker =
+        static_cast<BreakerState>(breaker_state_.load());
+    const char* breaker_name = breaker == BreakerState::kOpen ? "open"
+                               : breaker == BreakerState::kHalfOpen
+                                   ? "half_open"
+                                   : "closed";
     HttpResponse r;
     r.keep_alive = keep_alive;
     r.body = StrFormat(
-        "{\"status\":\"ok\",\"generation\":%lld,\"nodes\":%lld,"
-        "\"classes\":%lld,\"mode\":\"%s\"}",
+        "{\"status\":\"%s\",\"generation\":%lld,\"nodes\":%lld,"
+        "\"classes\":%lld,\"mode\":\"%s\",\"reload_breaker\":\"%s\"}",
+        breaker == BreakerState::kOpen ? "degraded" : "ok",
         static_cast<long long>(engine_->generation()),
         static_cast<long long>(engine->num_nodes()),
         static_cast<long long>(engine->num_classes()),
-        engine->full_graph_mode() ? "full" : "sampled");
+        engine->full_graph_mode() ? "full" : "sampled", breaker_name);
     FinishRequest(conn, slot, kRouteHealthz, watch.ElapsedMillis(),
                   std::move(r));
     return;
@@ -439,10 +462,28 @@ void HttpServer::HandleRequest(Connection* conn, HttpRequest request) {
                     ErrorResponse(405, "use POST", keep_alive));
       return;
     }
+    // Per-request deadline: the route default, overridable (within the
+    // configured ceiling) by X-Deadline-Ms.
+    double deadline_ms = options_.default_deadline_ms;
+    if (const std::string* header = request.FindHeader("x-deadline-ms")) {
+      char* end = nullptr;
+      const double v = std::strtod(header->c_str(), &end);
+      if (end == header->c_str() || *end != '\0' || !(v > 0.0)) {
+        const Route route = path == "/v1/predict" ? kRoutePredict
+                            : path == "/v1/topk"  ? kRouteTopk
+                                                  : kRouteReload;
+        FinishRequest(conn, slot, route, watch.ElapsedMillis(),
+                      ErrorResponse(
+                          400, "X-Deadline-Ms must be a positive number",
+                          keep_alive));
+        return;
+      }
+      deadline_ms = std::min(v, options_.max_deadline_ms);
+    }
     if (path == "/v1/predict") {
-      HandlePredict(conn, slot, keep_alive, request.body);
+      HandlePredict(conn, slot, keep_alive, deadline_ms, request.body);
     } else if (path == "/v1/topk") {
-      HandleTopK(conn, slot, keep_alive, request.body);
+      HandleTopK(conn, slot, keep_alive, deadline_ms, request.body);
     } else {
       HandleReload(conn, slot, keep_alive, request.body);
     }
@@ -453,7 +494,8 @@ void HttpServer::HandleRequest(Connection* conn, HttpRequest request) {
 }
 
 void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
-                               bool keep_alive, const std::string& body) {
+                               bool keep_alive, double deadline_ms,
+                               const std::string& body) {
   const Stopwatch watch;
   auto doc_or = JsonValue::Parse(body);
   if (!doc_or.ok()) {
@@ -483,7 +525,7 @@ void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
   const uint64_t conn_id = conn->id;
   const std::shared_ptr<Liveness> liveness = liveness_;
   const Status admitted = batcher_->Submit(
-      std::move(ids),
+      std::move(ids), deadline_ms,
       [this, liveness, conn_id, slot, keep_alive,
        watch](Result<std::vector<serve::Prediction>> result) {
         // Worker thread: marshal onto the reactor — unless the server has
@@ -495,13 +537,22 @@ void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
           --inflight_;
           HttpResponse r;
           r.keep_alive = keep_alive;
+          bool was_shed = false;
           if (result.ok()) {
             r.body = PredictionsToJson(result.value());
+          } else if (result.status().code() ==
+                     StatusCode::kDeadlineExceeded) {
+            // Shed in queue: tell the client to back off briefly.
+            r.status = 503;
+            r.retry_after_s = 1;
+            r.body = ErrorBody(result.status().message());
+            was_shed = true;
           } else {
             r.status =
                 result.status().code() == StatusCode::kOutOfRange ? 400 : 500;
             r.body = ErrorBody(result.status().message());
           }
+          if (was_shed) routes_[kRoutePredict].shed.fetch_add(1);
           const auto it = conns_.find(conn_id);
           if (it == conns_.end()) {
             client_gone_.fetch_add(1);
@@ -519,8 +570,12 @@ void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
         });
       });
   if (!admitted.ok()) {
+    // Queue full (or shutdown): shed at admission with the same contract.
+    HttpResponse r = ErrorResponse(503, admitted.message(), keep_alive);
+    r.retry_after_s = 1;
+    routes_[kRoutePredict].shed.fetch_add(1);
     FinishRequest(conn, slot, kRoutePredict, watch.ElapsedMillis(),
-                  ErrorResponse(503, admitted.message(), keep_alive));
+                  std::move(r));
     return;
   }
   ++inflight_;
@@ -528,7 +583,7 @@ void HttpServer::HandlePredict(Connection* conn, uint64_t slot,
 }
 
 void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
-                            const std::string& body) {
+                            double deadline_ms, const std::string& body) {
   const Stopwatch watch;
   auto doc_or = JsonValue::Parse(body);
   Result<int64_t> node_or =
@@ -559,7 +614,7 @@ void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
   const uint64_t conn_id = conn->id;
   const std::shared_ptr<Liveness> liveness = liveness_;
   const Status admitted = batcher_->Submit(
-      {node},
+      {node}, deadline_ms,
       [this, liveness, conn_id, slot, keep_alive, node, k,
        watch](Result<std::vector<serve::Prediction>> result) {
         std::lock_guard<std::mutex> lock(liveness->mu);
@@ -569,14 +624,22 @@ void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
           --inflight_;
           HttpResponse r;
           r.keep_alive = keep_alive;
+          bool was_shed = false;
           if (result.ok()) {
             r.body = TopKToJson(
                 node, serve::TopKOf(result.value()[0], static_cast<int>(k)));
+          } else if (result.status().code() ==
+                     StatusCode::kDeadlineExceeded) {
+            r.status = 503;
+            r.retry_after_s = 1;
+            r.body = ErrorBody(result.status().message());
+            was_shed = true;
           } else {
             r.status =
                 result.status().code() == StatusCode::kOutOfRange ? 400 : 500;
             r.body = ErrorBody(result.status().message());
           }
+          if (was_shed) routes_[kRouteTopk].shed.fetch_add(1);
           const auto it = conns_.find(conn_id);
           if (it == conns_.end()) {
             client_gone_.fetch_add(1);
@@ -593,8 +656,11 @@ void HttpServer::HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
         });
       });
   if (!admitted.ok()) {
+    HttpResponse r = ErrorResponse(503, admitted.message(), keep_alive);
+    r.retry_after_s = 1;
+    routes_[kRouteTopk].shed.fetch_add(1);
     FinishRequest(conn, slot, kRouteTopk, watch.ElapsedMillis(),
-                  ErrorResponse(503, admitted.message(), keep_alive));
+                  std::move(r));
     return;
   }
   ++inflight_;
@@ -618,6 +684,28 @@ void HttpServer::HandleReload(Connection* conn, uint64_t slot,
                   ErrorResponse(409, "a reload is already in progress",
                                 keep_alive));
     return;
+  }
+  // Circuit breaker: while open, reloads are refused outright until the
+  // cooldown passes; the first reload after cooldown runs as a half-open
+  // probe (success closes the breaker, failure reopens it).
+  if (static_cast<BreakerState>(breaker_state_.load()) ==
+      BreakerState::kOpen) {
+    const double remaining_ms = BreakerRemainingMs();
+    if (remaining_ms > 0.0) {
+      HttpResponse r = ErrorResponse(
+          503,
+          StrFormat("reload circuit breaker is open (%d consecutive "
+                    "failures); retry after cooldown",
+                    options_.reload_breaker_threshold),
+          keep_alive);
+      r.retry_after_s =
+          static_cast<int>((remaining_ms + 999.0) / 1000.0);
+      routes_[kRouteReload].shed.fetch_add(1);
+      FinishRequest(conn, slot, kRouteReload, watch.ElapsedMillis(),
+                    std::move(r));
+      return;
+    }
+    breaker_state_.store(static_cast<int>(BreakerState::kHalfOpen));
   }
   if (reload_thread_.joinable()) reload_thread_.join();
   reload_in_progress_ = true;
@@ -648,6 +736,7 @@ void HttpServer::HandleReload(Connection* conn, uint64_t slot,
       reload_in_progress_ = false;
       --inflight_;
       if (generation_or.ok()) reloads_total_.fetch_add(1);
+      OnReloadOutcome(generation_or.ok());
       HttpResponse r;
       r.keep_alive = keep_alive;
       if (generation_or.ok()) {
@@ -656,8 +745,13 @@ void HttpServer::HandleReload(Connection* conn, uint64_t slot,
             static_cast<long long>(generation_or.value()),
             JsonEscape(path).c_str());
       } else {
+        // The incumbent engine was never unpublished: swap_in only swaps
+        // after a fully validated load, so a failure is a clean rollback.
         r.status = 500;
-        r.body = ErrorBody(generation_or.status().ToString());
+        r.body = StrFormat(
+            "{\"error\":\"%s\",\"rolled_back\":true,\"generation\":%lld}",
+            JsonEscape(generation_or.status().ToString()).c_str(),
+            static_cast<long long>(engine_->generation()));
       }
       const auto it = conns_.find(conn_id);
       if (it == conns_.end()) {
@@ -672,6 +766,31 @@ void HttpServer::HandleReload(Connection* conn, uint64_t slot,
                     std::move(r));
     });
   });
+}
+
+double HttpServer::BreakerRemainingMs() const {
+  const double elapsed = breaker_opened_.ElapsedMillis();
+  return elapsed >= options_.reload_breaker_cooldown_ms
+             ? 0.0
+             : options_.reload_breaker_cooldown_ms - elapsed;
+}
+
+void HttpServer::OnReloadOutcome(bool ok) {
+  if (ok) {
+    reload_failure_streak_ = 0;
+    breaker_state_.store(static_cast<int>(BreakerState::kClosed));
+    return;
+  }
+  reload_failures_total_.fetch_add(1);
+  ++reload_failure_streak_;
+  const BreakerState state =
+      static_cast<BreakerState>(breaker_state_.load());
+  if (options_.reload_breaker_threshold > 0 &&
+      (state == BreakerState::kHalfOpen ||
+       reload_failure_streak_ >= options_.reload_breaker_threshold)) {
+    breaker_state_.store(static_cast<int>(BreakerState::kOpen));
+    breaker_opened_.Restart();
+  }
 }
 
 void HttpServer::FinishRequest(Connection* conn, uint64_t slot, Route route,
@@ -702,8 +821,10 @@ void HttpServer::DeliverSerialized(Connection* conn, uint64_t slot,
 
 void HttpServer::FlushOutput(Connection* conn) {
   while (conn->HasPendingOutput()) {
-    const ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->outpos,
-                              conn->outbuf.size() - conn->outpos);
+    const ssize_t n =
+        failpoint::Write("net.write", conn->fd,
+                         conn->outbuf.data() + conn->outpos,
+                         conn->outbuf.size() - conn->outpos);
     if (n > 0) {
       conn->outpos += static_cast<size_t>(n);
       continue;
@@ -755,6 +876,7 @@ std::vector<RouteStats> HttpServer::AllRouteStats() const {
     s.requests = routes_[r].requests.load();
     s.errors = routes_[r].errors.load();
     s.slo_violations = routes_[r].slo_violations.load();
+    s.shed = routes_[r].shed.load();
     s.latency_ms = routes_[r].latency_ms.Summary();
     out.push_back(std::move(s));
   }
@@ -767,6 +889,11 @@ std::string HttpServer::MetricsText() const {
                    static_cast<long long>(engine_->generation()));
   out += StrFormat("graphrare_engine_reloads_total %lld\n",
                    static_cast<long long>(reloads_total_.load()));
+  out += StrFormat("graphrare_reload_failures_total %lld\n",
+                   static_cast<long long>(reload_failures_total_.load()));
+  // 0 = closed, 1 = half-open, 2 = open.
+  out += StrFormat("graphrare_reload_breaker_state %d\n",
+                   breaker_state_.load());
   out += StrFormat("graphrare_connections_total %lld\n",
                    static_cast<long long>(connections_total_.load()));
   out += StrFormat("graphrare_connections_rejected_total %lld\n",
@@ -787,6 +914,12 @@ std::string HttpServer::MetricsText() const {
                    static_cast<long long>(b.max_batch_seen));
   out += StrFormat("graphrare_batch_queue_depth %lld\n",
                    static_cast<long long>(b.queue_depth));
+  out += StrFormat("graphrare_batch_shed_total %lld\n",
+                   static_cast<long long>(b.shed));
+  out += StrFormat("graphrare_batch_effective_max %lld\n",
+                   static_cast<long long>(b.effective_max_batch));
+  out += StrFormat("graphrare_batch_overload_shrinks_total %lld\n",
+                   static_cast<long long>(b.overload_shrinks));
   out += StrFormat(
       "graphrare_batch_queue_delay_ms{quantile=\"0.5\"} %.6g\n",
       b.queue_delay_ms.p50);
@@ -800,6 +933,8 @@ std::string HttpServer::MetricsText() const {
                      static_cast<long long>(s.requests));
     out += StrFormat("graphrare_request_errors_total{route=\"%s\"} %lld\n",
                      route, static_cast<long long>(s.errors));
+    out += StrFormat("graphrare_requests_shed_total{route=\"%s\"} %lld\n",
+                     route, static_cast<long long>(s.shed));
     out += StrFormat(
         "graphrare_slo_violations_total{route=\"%s\",slo_ms=\"%.6g\"} %lld\n",
         route, options_.slo_ms, static_cast<long long>(s.slo_violations));

@@ -63,6 +63,20 @@ struct HttpServerOptions {
   /// Latency SLO per request; responses slower than this bump the route's
   /// slo_violations counter on /metrics.
   double slo_ms = 50.0;
+  /// Default deadline for /v1/predict and /v1/topk (overridable per
+  /// request with the X-Deadline-Ms header). A request still queued when
+  /// its deadline passes is shed with 503 + Retry-After instead of
+  /// spending engine time. 0 = no default deadline.
+  double default_deadline_ms = 0.0;
+  /// Ceiling for client-supplied X-Deadline-Ms values.
+  double max_deadline_ms = 60000.0;
+  /// Reload circuit breaker: this many consecutive reload failures open
+  /// the breaker — further reloads get 503 + Retry-After until
+  /// `reload_breaker_cooldown_ms` passes, then one half-open probe reload
+  /// is admitted (success closes the breaker, failure reopens it). The
+  /// state shows on /healthz and /metrics. 0 disables the breaker.
+  int reload_breaker_threshold = 3;
+  double reload_breaker_cooldown_ms = 5000.0;
   HttpLimits limits;
   BatcherOptions batcher;  ///< used when no external batcher is supplied
 
@@ -75,6 +89,7 @@ struct RouteStats {
   int64_t requests = 0;
   int64_t errors = 0;          ///< responses with status >= 400
   int64_t slo_violations = 0;  ///< responses slower than slo_ms
+  int64_t shed = 0;            ///< 503s from deadlines/overload/breaker
   LatencySummary latency_ms;   ///< dispatch -> response enqueued
 };
 
@@ -131,9 +146,9 @@ class HttpServer {
   void ParseBuffered(Connection* conn);
   void HandleRequest(Connection* conn, HttpRequest request);
   void HandlePredict(Connection* conn, uint64_t slot, bool keep_alive,
-                     const std::string& body);
+                     double deadline_ms, const std::string& body);
   void HandleTopK(Connection* conn, uint64_t slot, bool keep_alive,
-                  const std::string& body);
+                  double deadline_ms, const std::string& body);
   void HandleReload(Connection* conn, uint64_t slot, bool keep_alive,
                     const std::string& body);
   /// Serialises + enqueues at `slot`, keeping pipelined responses in
@@ -182,6 +197,18 @@ class HttpServer {
   bool reload_in_progress_ = false;
   std::thread reload_thread_;
   std::atomic<int64_t> reloads_total_{0};
+
+  // Reload circuit breaker. Transitions happen on the loop thread; the
+  // state and failure count are atomics so MetricsText (any thread) can
+  // read them.
+  enum class BreakerState : int { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+  std::atomic<int> breaker_state_{0};
+  std::atomic<int64_t> reload_failures_total_{0};
+  int reload_failure_streak_ = 0;  ///< loop thread only
+  Stopwatch breaker_opened_;       ///< loop thread only
+  /// Cooldown still to wait before the next probe reload, or 0.
+  double BreakerRemainingMs() const;
+  void OnReloadOutcome(bool ok);
 
   std::atomic<int64_t> connections_total_{0};
   std::atomic<int64_t> connections_rejected_{0};

@@ -1,10 +1,16 @@
 #include "serve/artifact.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace graphrare {
@@ -15,19 +21,49 @@ namespace {
 constexpr char kMagic[8] = {'G', 'R', 'A', 'R', 'E', 'A', 'R', 'T'};
 constexpr char kEndMarker[8] = {'G', 'R', 'A', 'R', 'E', 'E', 'N', 'D'};
 
+Status SyscallError(const std::string& path, const char* call) {
+  return Status::Internal(StrFormat("'%s': %s failed: %s", path.c_str(), call,
+                                    std::strerror(errno)));
+}
+
+/// Closes the fd on scope exit (Load/Save have many early returns).
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  /// Hands ownership back for an error-checked close.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
 // ---- Little-endian binary writer/reader -----------------------------------
 //
 // Fixed-width fields are written through memcpy of native representations;
 // the library targets little-endian hosts only (as does every supported
 // platform), and Load verifies the magic so a foreign file fails loudly.
+//
+// Both sides run on raw fds through the "artifact.read"/"artifact.write"
+// fail points, retry EINTR, and handle short transfers, and both maintain
+// a running CRC-32 that Checksum() closes at each section boundary.
 
 class Writer {
  public:
-  explicit Writer(std::ofstream* out) : out_(out) {}
+  Writer(int fd, const std::string& path) : fd_(fd), path_(&path) {
+    buf_.reserve(kFlushBytes + 64);
+  }
 
   void Bytes(const void* data, size_t n) {
-    out_->write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(n));
+    if (!status_.ok()) return;
+    crc_ = Crc32::Update(crc_, data, n);
+    Append(data, n);
   }
   void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
   void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
@@ -51,8 +87,51 @@ class Writer {
     Bytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
   }
 
+  /// Closes the current section: writes the u32 CRC-32 of every byte since
+  /// the previous boundary (the CRC field belongs to no section) and resets
+  /// the running CRC.
+  void Checksum() {
+    if (!status_.ok()) return;
+    const uint32_t crc = crc_;
+    Append(&crc, sizeof(crc));
+    crc_ = 0;
+  }
+
+  /// Flushes buffered bytes and returns the first error, if any.
+  Status Finish() {
+    if (status_.ok()) FlushBuf();
+    return status_;
+  }
+
  private:
-  std::ofstream* out_;
+  static constexpr size_t kFlushBytes = 256 * 1024;
+
+  void Append(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+    if (buf_.size() >= kFlushBytes) FlushBuf();
+  }
+
+  void FlushBuf() {
+    const char* p = buf_.data();
+    size_t left = buf_.size();
+    while (left > 0) {
+      const ssize_t w = failpoint::Write("artifact.write", fd_, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        status_ = SyscallError(*path_, "write");
+        break;
+      }
+      p += w;
+      left -= static_cast<size_t>(w);
+    }
+    buf_.clear();
+  }
+
+  int fd_;
+  const std::string* path_;
+  std::string buf_;
+  uint32_t crc_ = 0;
+  Status status_ = Status::OK();
 };
 
 class Reader {
@@ -60,25 +139,35 @@ class Reader {
   /// `file_size` bounds every length/count read from the stream: a file
   /// cannot hold more payload than its own bytes, so a corrupt header can
   /// never force an allocation beyond the (already-read) file size.
-  Reader(std::ifstream* in, std::string path, uint64_t file_size)
-      : in_(in), path_(std::move(path)), file_size_(file_size) {}
+  Reader(int fd, std::string path, uint64_t file_size)
+      : fd_(fd), path_(std::move(path)), file_size_(file_size) {
+    buf_.resize(64 * 1024);
+  }
 
   Status Bytes(void* data, size_t n) {
-    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-    if (static_cast<size_t>(in_->gcount()) != n) {
-      return Status::InvalidArgument(
-          StrFormat("'%s': truncated artifact (wanted %zu bytes at offset "
-                    "%llu)",
-                    path_.c_str(), n,
-                    static_cast<unsigned long long>(offset_)));
-    }
-    offset_ += n;
+    GR_RETURN_IF_ERROR(RawBytes(data, n));
+    crc_ = Crc32::Update(crc_, data, n);
     return Status::OK();
   }
   Status U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
   Status U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
   Status I64(int64_t* v) { return Bytes(v, sizeof(*v)); }
   Status F32(float* v) { return Bytes(v, sizeof(*v)); }
+
+  /// Verifies the u32 CRC closing the current section against the running
+  /// CRC of the bytes read since the previous boundary, then resets it.
+  Status Checksum(const char* section) {
+    uint32_t stored = 0;
+    GR_RETURN_IF_ERROR(RawBytes(&stored, sizeof(stored)));
+    if (stored != crc_) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s': checksum mismatch in section '%s' (stored %08x, computed "
+          "%08x; corrupt artifact)",
+          path_.c_str(), section, stored, crc_));
+    }
+    crc_ = 0;
+    return Status::OK();
+  }
 
   /// Bytes between the cursor and the end of the file.
   uint64_t RemainingBytes() const {
@@ -141,6 +230,39 @@ class Reader {
   const std::string& path() const { return path_; }
 
  private:
+  /// Copies `n` bytes to `data` without touching the running CRC, refilling
+  /// the buffer through the fail-point shim; EINTR retries and short reads
+  /// are absorbed here.
+  Status RawBytes(void* data, size_t n) {
+    char* out = static_cast<char*>(data);
+    while (n > 0) {
+      if (pos_ == len_) {
+        const ssize_t r =
+            failpoint::Read("artifact.read", fd_, buf_.data(), buf_.size());
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          return SyscallError(path_, "read");
+        }
+        if (r == 0) {
+          return Status::InvalidArgument(
+              StrFormat("'%s': truncated artifact (wanted %zu bytes at "
+                        "offset %llu)",
+                        path_.c_str(), n,
+                        static_cast<unsigned long long>(offset_)));
+        }
+        len_ = static_cast<size_t>(r);
+        pos_ = 0;
+      }
+      const size_t take = std::min(n, len_ - pos_);
+      std::memcpy(out, buf_.data() + pos_, take);
+      pos_ += take;
+      out += take;
+      n -= take;
+      offset_ += take;
+    }
+    return Status::OK();
+  }
+
   Status ImplausibleCount(uint64_t n, uint64_t max_elems,
                           uint64_t elem_size) {
     return Status::InvalidArgument(StrFormat(
@@ -151,10 +273,14 @@ class Reader {
             std::min(max_elems, RemainingBytes() / elem_size))));
   }
 
-  std::ifstream* in_;
+  int fd_;
   std::string path_;
   uint64_t file_size_;
   uint64_t offset_ = 0;
+  std::vector<char> buf_;
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  uint32_t crc_ = 0;
 };
 
 void WriteModelOptions(Writer* w, const nn::ModelOptions& mo) {
@@ -184,6 +310,19 @@ Status ReadModelOptions(Reader* r, nn::ModelOptions* mo) {
   mo->gat_heads = static_cast<int>(gat_heads);
   mo->appnp_iterations = static_cast<int>(appnp_iterations);
   return Status::OK();
+}
+
+/// Best-effort fsync of the directory holding `path` so the rename itself
+/// is durable; failure is ignored (the data fsync already happened).
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace
@@ -236,18 +375,20 @@ Result<std::unique_ptr<nn::NodeClassifier>> ModelArtifact::MakeModel() const {
 
 Status ModelArtifact::Save(const std::string& path) const {
   GR_RETURN_IF_ERROR(Validate());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal(
-        StrFormat("cannot open '%s' for writing", path.c_str()));
-  }
-  Writer w(&out);
+  const std::string tmp = path + ".tmp";
+  const int fd = failpoint::Open("artifact.open", tmp.c_str(),
+                                 O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return SyscallError(tmp, "open");
+  FdCloser closer(fd);
+
+  Writer w(fd, tmp);
   w.Bytes(kMagic, sizeof(kMagic));
   w.U32(kArtifactSchemaVersion);
   w.U32(static_cast<uint32_t>(backbone));
   WriteModelOptions(&w, model_options);
   w.U64(seed);
   w.String(dataset_name);
+  w.Checksum();  // meta
 
   w.I64(graph.num_nodes());
   w.I64(graph.num_edges());
@@ -255,40 +396,61 @@ Status ModelArtifact::Save(const std::string& path) const {
     w.I64(u);
     w.I64(v);
   }
+  w.Checksum();  // graph
 
   w.I64(features->rows());
   w.I64(features->cols());
   w.I64Array(features->row_ptr());
   w.I64Array(features->col_idx());
   w.F32Array(features->values());
+  w.Checksum();  // features
 
   w.I64Array(labels);
+  w.Checksum();  // labels
 
   w.U64(weights.size());
   for (const auto& [name, value] : weights) {
     w.String(name);
     w.Tensor(value);
   }
+  w.Checksum();  // weights
   w.Bytes(kEndMarker, sizeof(kEndMarker));
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal(StrFormat("write failed for '%s'", path.c_str()));
+
+  Status status = w.Finish();
+  if (status.ok()) {
+    while (failpoint::Fsync("artifact.fsync", fd) != 0) {
+      if (errno == EINTR) continue;
+      status = SyscallError(tmp, "fsync");
+      break;
+    }
   }
+  if (status.ok()) {
+    if (::close(closer.Release()) != 0) status = SyscallError(tmp, "close");
+  }
+  if (status.ok() &&
+      failpoint::Rename("artifact.rename", tmp.c_str(), path.c_str()) != 0) {
+    status = SyscallError(path, "rename");
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  SyncParentDir(path);
   return Status::OK();
 }
 
 Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  const int fd = failpoint::Open("artifact.open", path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+    }
+    return SyscallError(path, "open");
   }
-  in.seekg(0, std::ios::end);
-  const std::streamoff file_size = in.tellg();
-  in.seekg(0, std::ios::beg);
-  if (file_size < 0) {
-    return Status::Internal(StrFormat("cannot stat '%s'", path.c_str()));
-  }
-  Reader r(&in, path, static_cast<uint64_t>(file_size));
+  FdCloser closer(fd);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) return SyscallError(path, "fstat");
+  Reader r(fd, path, static_cast<uint64_t>(st.st_size));
 
   char magic[sizeof(kMagic)] = {};
   GR_RETURN_IF_ERROR(r.Bytes(magic, sizeof(magic)));
@@ -316,6 +478,7 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
   GR_RETURN_IF_ERROR(ReadModelOptions(&r, &art.model_options));
   GR_RETURN_IF_ERROR(r.U64(&art.seed));
   GR_RETURN_IF_ERROR(r.String(&art.dataset_name));
+  GR_RETURN_IF_ERROR(r.Checksum("meta"));
 
   int64_t num_nodes = 0, num_edges = 0;
   GR_RETURN_IF_ERROR(r.I64(&num_nodes));
@@ -341,6 +504,7 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
     GR_RETURN_IF_ERROR(r.I64(&v));
     edges.emplace_back(u, v);
   }
+  GR_RETURN_IF_ERROR(r.Checksum("graph"));
   GR_ASSIGN_OR_RETURN(art.graph, graph::Graph::FromEdgeList(num_nodes, edges));
 
   int64_t frows = 0, fcols = 0;
@@ -356,6 +520,7 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
       r.I64Array(&row_ptr, static_cast<uint64_t>(frows) + 1));
   GR_RETURN_IF_ERROR(r.I64Array(&col_idx, 1ULL << 40));
   GR_RETURN_IF_ERROR(r.F32Array(&values, 1ULL << 40));
+  GR_RETURN_IF_ERROR(r.Checksum("features"));
   if (static_cast<int64_t>(row_ptr.size()) != frows + 1 ||
       col_idx.size() != values.size() || row_ptr.empty() ||
       row_ptr.front() != 0 ||
@@ -365,7 +530,8 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
   }
   for (size_t i = 1; i < row_ptr.size(); ++i) {
     // Monotonicity: a shuffled row_ptr would otherwise reassign entries
-    // to the wrong rows below and still "load" successfully.
+    // to the wrong rows below and still "load" successfully. The CRC
+    // catches wire corruption; this catches a buggy writer.
     if (row_ptr[i] < row_ptr[i - 1]) {
       return Status::InvalidArgument(StrFormat(
           "'%s': feature CSR row_ptr not monotonic", path.c_str()));
@@ -393,6 +559,7 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
 
   GR_RETURN_IF_ERROR(
       r.I64Array(&art.labels, static_cast<uint64_t>(num_nodes)));
+  GR_RETURN_IF_ERROR(r.Checksum("labels"));
 
   uint64_t num_weights = 0;
   GR_RETURN_IF_ERROR(r.U64(&num_weights));
@@ -409,6 +576,7 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
     GR_RETURN_IF_ERROR(r.Tensor(&value));
     art.weights.emplace_back(std::move(name), std::move(value));
   }
+  GR_RETURN_IF_ERROR(r.Checksum("weights"));
 
   char end[sizeof(kEndMarker)] = {};
   GR_RETURN_IF_ERROR(r.Bytes(end, sizeof(end)));

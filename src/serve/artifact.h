@@ -7,18 +7,25 @@
 // enough metadata to rebuild the backbone) so inference never touches the
 // training stack.
 //
-// Binary layout (little-endian, schema kArtifactSchemaVersion):
+// Binary layout (little-endian, schema kArtifactSchemaVersion). The file
+// is five checksummed sections followed by an end marker; each section is
+// its payload followed by a u32 CRC-32 (IEEE 802.3) of exactly that
+// payload, so a torn or bit-flipped file is rejected before its contents
+// are trusted (the CRC fields themselves belong to no section's CRC):
 //
-//   "GRAREART"  magic (8 bytes)
-//   u32         schema version
-//   u32         backbone kind
-//   ModelOptions (fixed-width fields, see artifact.cc)
-//   u64         run seed
-//   string      dataset name (u64 length + bytes)
+//   meta        "GRAREART" magic (8 bytes), u32 schema version,
+//               u32 backbone kind, ModelOptions (fixed-width fields, see
+//               artifact.cc), u64 run seed,
+//               string dataset name (u64 length + bytes)
+//   u32         CRC-32 of the meta section
 //   graph       num_nodes, num_edges, canonical (u < v) edge list
+//   u32         CRC-32 of the graph section
 //   features    CSR: rows, cols, nnz, row_ptr, col_idx, values
+//   u32         CRC-32 of the features section
 //   labels      count (0 = absent) + values
+//   u32         CRC-32 of the labels section
 //   weights     count, then per tensor: name, rows, cols, float32 data
+//   u32         CRC-32 of the weights section
 //   "GRAREEND"  end marker (truncation check)
 
 #ifndef GRAPHRARE_SERVE_ARTIFACT_H_
@@ -37,7 +44,8 @@ namespace graphrare {
 namespace serve {
 
 /// Bump when the binary layout changes; Load rejects other versions.
-constexpr uint32_t kArtifactSchemaVersion = 1;
+/// v2 added the per-section CRC-32 checksums.
+constexpr uint32_t kArtifactSchemaVersion = 2;
 
 /// A trained backbone + optimized graph + features, ready to serve.
 struct ModelArtifact {
@@ -74,12 +82,16 @@ struct ModelArtifact {
   /// it. The returned model is independent of this artifact.
   Result<std::unique_ptr<nn::NodeClassifier>> MakeModel() const;
 
-  /// Writes the versioned binary file. Overwrites an existing file.
+  /// Writes the versioned binary file atomically: the bytes go to
+  /// `<path>.tmp`, are fsync'ed, and the temp file is renamed over `path`,
+  /// so a crash mid-save never leaves a torn artifact at `path` (the temp
+  /// file is unlinked on failure). Overwrites an existing file. Errors name
+  /// the failing syscall. I/O runs through the "artifact.*" fail points.
   Status Save(const std::string& path) const;
 
   /// Reads an artifact written by Save. Fails with NotFound on a missing
-  /// file and InvalidArgument on bad magic, wrong schema version, or a
-  /// truncated/corrupt payload.
+  /// file and InvalidArgument on bad magic, wrong schema version, a
+  /// section checksum mismatch, or a truncated/corrupt payload.
   static Result<ModelArtifact> Load(const std::string& path);
 };
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "core/graphrare.h"
 
 namespace graphrare {
@@ -254,6 +255,7 @@ TEST(ArtifactTest, LoadRejectsHugeHeaderCountsWithoutAllocating) {
   put_f32(0.1f), put_u32(1), put_u64(1);  // appnp alpha/iters, model seed
   put_u64(1);                      // run seed
   put_u64(0);                      // empty dataset name
+  put_u32(Crc32::Of(bytes.data(), bytes.size()));  // valid meta checksum
   put_i64(1LL << 60);              // num_nodes: absurd
   put_i64(1LL << 60);              // num_edges: absurd
   std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
@@ -273,24 +275,41 @@ TEST(ArtifactTest, LoadRejectsNonMonotonicFeatureRowPtr) {
       MakeArtifact(ds, nn::BackboneKind::kGcn, 5);
   const std::string path = TempPath("badcsr.grare");
   ASSERT_TRUE(artifact.Save(path).ok());
-  // Locate the features row_ptr: it starts right after the graph block
-  // with the i64 pair (frows, fcols) and the u64 row_ptr length.
+  // Locate the features section: it starts right after the graph block
+  // (each v2 section carries a trailing u32 CRC) with the i64 pair
+  // (frows, fcols) and the u64 row_ptr length.
   const uint64_t header =
       8 + 4 + 4 +                 // magic, version, backbone
       3 * 8 + 4 + 4 + 4 + 4 + 4 + 4 + 8 +  // ModelOptions
       8 +                         // run seed
-      8 + artifact.dataset_name.size();     // name
+      8 + artifact.dataset_name.size() +    // name
+      4;                          // meta CRC
   const uint64_t graph_block =
-      8 + 8 + 16 * static_cast<uint64_t>(artifact.graph.num_edges());
-  const uint64_t first_row_ptr_entry = header + graph_block + 8 + 8 + 8;
-  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+      8 + 8 + 16 * static_cast<uint64_t>(artifact.graph.num_edges()) +
+      4;                          // graph CRC
+  const uint64_t features_start = header + graph_block;
+  const uint64_t first_row_ptr_entry = features_start + 8 + 8 + 8;
+  const uint64_t frows = static_cast<uint64_t>(artifact.features->rows());
+  const uint64_t nnz = artifact.features->col_idx().size();
+  const uint64_t features_len = 8 + 8 +                // frows, fcols
+                                8 + 8 * (frows + 1) +  // row_ptr
+                                8 + 8 * nnz +          // col_idx
+                                8 + 4 * nnz;           // values
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
   // row_ptr[0] = 1 (must be 0) makes the array non-monotonic overall
   // once row_ptr[1] for an empty first row reads 0, and always breaks
-  // the front()==0 invariant.
+  // the front()==0 invariant. Re-stamp the section CRC so the semantic
+  // check (not the checksum) is what rejects the file — this guards the
+  // buggy-writer case, where the CRC is consistent with the bad bytes.
   const int64_t corrupted = 1;
-  f.seekp(static_cast<std::streamoff>(first_row_ptr_entry));
-  f.write(reinterpret_cast<const char*>(&corrupted), sizeof(corrupted));
-  f.close();
+  std::memcpy(&bytes[first_row_ptr_entry], &corrupted, sizeof(corrupted));
+  const uint32_t crc =
+      Crc32::Of(bytes.data() + features_start, features_len);
+  std::memcpy(&bytes[features_start + features_len], &crc, sizeof(crc));
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
   auto r = serve::ModelArtifact::Load(path);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
